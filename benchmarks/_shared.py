@@ -1,0 +1,52 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every ``test_fig*``/``test_table*`` file regenerates one table or figure
+of the paper.  Campaign measurement is cached per session so the sweep
+cost is paid once.
+
+Scale is controlled by ``REPRO_BENCH_SCALE``:
+
+* ``paper`` (default) — the full Section-IV setup: 60 benchmarks, 1,000
+  runs per campaign;
+* ``medium`` — 32 benchmarks, 500 runs (roughly 4x faster grids);
+* ``small`` — 16 benchmarks, 300 runs (CI smoke scale).
+
+Results (CSV/JSON series and terminal violins) land in ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.experiments.config import PAPER_CONFIG, ExperimentConfig
+from repro.experiments.usecase1 import measure_campaigns
+
+__all__ = ["bench_config", "intel_campaigns", "amd_campaigns", "RESULTS_DIR"]
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@lru_cache(maxsize=1)
+def bench_config() -> ExperimentConfig:
+    """The experiment configuration selected by REPRO_BENCH_SCALE."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "paper").lower()
+    if scale == "paper":
+        return PAPER_CONFIG
+    if scale == "medium":
+        return PAPER_CONFIG.scaled_down(n_benchmarks=32, n_runs=500)
+    if scale == "small":
+        return PAPER_CONFIG.scaled_down(n_benchmarks=16, n_runs=300)
+    raise ValueError(f"unknown REPRO_BENCH_SCALE={scale!r}")
+
+
+@lru_cache(maxsize=1)
+def intel_campaigns():
+    """Cached Intel-system campaigns at the configured scale."""
+    return measure_campaigns(bench_config(), "intel")
+
+
+@lru_cache(maxsize=1)
+def amd_campaigns():
+    """Cached AMD-system campaigns at the configured scale."""
+    return measure_campaigns(bench_config(), "amd")

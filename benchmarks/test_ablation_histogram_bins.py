@@ -1,0 +1,46 @@
+"""Ablation — histogram-bin count for the Histogram representation.
+
+The paper does not state its bin count; this bench sweeps the resolution
+and verifies the mid-range default is in the flat optimum: too few bins
+lose shape, too many make targets noisy.
+"""
+
+import numpy as np
+
+from repro.core.evaluation import evaluate_few_runs, summarize_ks
+from repro.core.representations import HistogramRepresentation
+from repro.data.table import ColumnTable
+from repro.stats.histogram import HistogramGrid
+from repro.viz.export import export_table
+
+from _shared import RESULTS_DIR, bench_config, intel_campaigns
+
+BIN_COUNTS = (8, 16, 32, 64)
+
+
+def test_ablation_histogram_bins(benchmark):
+    campaigns = intel_campaigns()
+    config = bench_config()
+
+    def run():
+        rows = []
+        for bins in BIN_COUNTS:
+            rep = HistogramRepresentation(HistogramGrid(0.85, 1.45, bins))
+            table = evaluate_few_runs(
+                campaigns,
+                representation=rep,
+                model="knn",
+                n_probe_runs=config.n_probe_runs,
+                n_replicas=config.n_replicas_uc1,
+                seed=config.eval_seed,
+            )
+            rows.append({"bins": bins, "mean_ks": summarize_ks(table).mean})
+        return ColumnTable.from_rows(rows)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    export_table(table, "ablation_histogram_bins", RESULTS_DIR)
+    means = dict(zip(table["bins"].tolist(), np.asarray(table["mean_ks"], dtype=float)))
+    print("\nhistogram-bin ablation (mean KS):", {int(k): round(v, 3) for k, v in means.items()})
+
+    # The default (32) must be within noise of the best setting.
+    assert means[32] <= min(means.values()) + 0.02

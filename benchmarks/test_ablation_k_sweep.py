@@ -1,0 +1,48 @@
+"""Ablation — the kNN neighborhood size (paper fixes k = 15).
+
+Sweeps k for cosine kNN + PearsonRnd on use case 1.  Checks the paper's
+operating point k = 15 sits in the flat optimum region: no alternative k
+beats it by a large margin.
+"""
+
+import numpy as np
+
+from repro.core.evaluation import evaluate_few_runs, summarize_ks
+from repro.core.representations import PearsonRndRepresentation
+from repro.data.table import ColumnTable
+from repro.ml.knn import KNNRegressor
+from repro.viz.export import export_table
+
+from _shared import RESULTS_DIR, bench_config, intel_campaigns
+
+K_VALUES = (1, 5, 10, 15, 25, 40)
+
+
+def test_ablation_k_sweep(benchmark):
+    campaigns = intel_campaigns()
+    config = bench_config()
+    rep = PearsonRndRepresentation()
+
+    def run():
+        rows = []
+        for k in K_VALUES:
+            table = evaluate_few_runs(
+                campaigns,
+                representation=rep,
+                model=KNNRegressor(k, metric="cosine"),
+                n_probe_runs=config.n_probe_runs,
+                n_replicas=config.n_replicas_uc1,
+                seed=config.eval_seed,
+            )
+            rows.append({"k": k, "mean_ks": summarize_ks(table).mean})
+        return ColumnTable.from_rows(rows)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    export_table(table, "ablation_k_sweep", RESULTS_DIR)
+    means = dict(zip(table["k"].tolist(), np.asarray(table["mean_ks"], dtype=float)))
+    print("\nk sweep (mean KS):", {int(k): round(v, 3) for k, v in means.items()})
+
+    # k=1 (pure nearest neighbor) is noisy; the paper's k=15 must beat it
+    # and be within a small margin of the best k in the sweep.
+    assert means[15] < means[1]
+    assert means[15] <= min(means.values()) + 0.02

@@ -1,0 +1,46 @@
+"""Ablation (extension) — quantile-vector representation vs the paper's three.
+
+Motivated by the paper's related work on quantile regression [21]: does a
+quantile-function encoding beat the published representations?  Averaging
+quantile vectors is a Wasserstein barycenter, so kNN smoothing behaves
+better than density averaging in principle.
+"""
+
+import numpy as np
+
+from repro.core.evaluation import evaluate_few_runs, summarize_ks
+from repro.core.representations import get_representation
+from repro.data.table import ColumnTable
+from repro.viz.export import export_table
+
+from _shared import RESULTS_DIR, bench_config, intel_campaigns
+
+REPS = ("pearsonrnd", "histogram", "quantile")
+
+
+def test_ablation_quantile_rep(benchmark):
+    campaigns = intel_campaigns()
+    config = bench_config()
+
+    def run():
+        rows = []
+        for name in REPS:
+            table = evaluate_few_runs(
+                campaigns,
+                representation=get_representation(name),
+                model="knn",
+                n_probe_runs=config.n_probe_runs,
+                n_replicas=config.n_replicas_uc1,
+                seed=config.eval_seed,
+            )
+            rows.append({"representation": name, "mean_ks": summarize_ks(table).mean})
+        return ColumnTable.from_rows(rows)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    export_table(table, "ablation_quantile_rep", RESULTS_DIR)
+    means = dict(zip(table["representation"].tolist(), np.asarray(table["mean_ks"], dtype=float)))
+    print("\nquantile-representation ablation (mean KS):", {k: round(v, 3) for k, v in means.items()})
+
+    # The extension must be competitive with the published representations
+    # (within 0.05 of the best) — the interesting output is the number.
+    assert means["quantile"] <= min(means.values()) + 0.05

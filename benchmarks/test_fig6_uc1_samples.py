@@ -1,0 +1,45 @@
+"""Fig. 6 — use case 1: KS vs. number of probe runs (Intel).
+
+Paper shape: a large improvement from 1 sample to multiple samples, then
+a steady improvement as samples increase — users trade sampling time for
+prediction accuracy.
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import sweep_report
+from repro.experiments.usecase1 import sample_count_sweep
+from repro.viz.export import export_table
+
+from _shared import RESULTS_DIR, bench_config, intel_campaigns
+
+
+def test_fig6_uc1_samples(benchmark):
+    campaigns = intel_campaigns()
+    config = bench_config()
+
+    sweep = benchmark.pedantic(
+        lambda: sample_count_sweep(campaigns, config), rounds=1, iterations=1
+    )
+    export_table(sweep, "fig6_uc1_samples", RESULTS_DIR)
+    print("\n" + sweep_report(sweep, title="Fig. 6 — UC1 KS vs #samples"))
+
+    counts = np.asarray(sweep["n_samples"])
+    ks = np.asarray(sweep["ks"], dtype=float)
+    means = {int(c): float(ks[counts == c].mean()) for c in sorted(set(counts.tolist()))}
+    levels = sorted(means)
+
+    # Paper shape: steady improvement as probe size grows.  Reproduced
+    # from 2 samples upward: the largest probe clearly beats the
+    # 2-sample probe and no step regresses beyond noise.
+    assert means[levels[-1]] < means[levels[1]] - 0.01
+    for lo, hi in zip(levels[1:], levels[2:]):
+        assert means[hi] <= means[lo] + 0.015, (lo, hi, means)
+
+    # Known divergence (see EXPERIMENTS.md): the paper's large 1 -> 2
+    # improvement INVERTS here — on the simulated substrate a single
+    # run's counter rates already identify the application (low
+    # measurement noise), while the 2-sample variability features are
+    # extremely noisy.  Gate only against the single-run probe being
+    # wildly better than the asymptote.
+    assert means[levels[0]] > means[levels[-1]] - 0.01

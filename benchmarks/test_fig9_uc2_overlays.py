@@ -1,0 +1,66 @@
+"""Fig. 9 — use case 2: predicted vs. actual overlays (AMD -> Intel).
+
+Paper's selected benchmarks: narrow (is, heartwall, spmv), moderate (bfs,
+gbtclassifier, sgemm), wide (bodytrack, canneal, correlation, histo).
+"""
+
+import numpy as np
+
+from repro.experiments.usecase2 import overlay_examples
+from repro.viz.ascii import overlay_ascii
+from repro.viz.export import export_series
+
+from _shared import RESULTS_DIR, amd_campaigns, bench_config, intel_campaigns
+
+FIG9_BENCHMARKS = (
+    "npb/is",
+    "rodinia/heartwall",
+    "parboil/spmv",
+    "parboil/bfs",
+    "mllib/gbtclassifier",
+    "parboil/sgemm",
+    "parsec/bodytrack",
+    "parsec/canneal",
+    "mllib/correlation",
+    "parboil/histo",
+)
+
+
+def test_fig9_uc2_overlays(benchmark):
+    amd = amd_campaigns()
+    intel = intel_campaigns()
+    config = bench_config()
+    available = tuple(b for b in FIG9_BENCHMARKS if b in amd and b in intel)
+
+    examples = benchmark.pedantic(
+        lambda: overlay_examples(amd, intel, available, config),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(examples) == len(available)
+
+    print("\nFig. 9 — UC2 overlays (PearsonRnd + kNN, AMD -> Intel)")
+    series = {}
+    for ex in sorted(examples, key=lambda e: e.ks):
+        print(f"\n{ex.benchmark}  KS={ex.ks:.3f}")
+        print(overlay_ascii(ex.measured, ex.predicted, label=ex.benchmark.split("/")[1]))
+        series[ex.benchmark] = {
+            "ks": ex.ks,
+            "measured": ex.measured,
+            "predicted": ex.predicted,
+        }
+    export_series(series, "fig9_uc2_overlays", RESULTS_DIR)
+
+    by_name = {ex.benchmark: ex for ex in examples}
+
+    # Paper shape: predicted width tracks measured width across the
+    # narrow / wide spectrum.
+    narrow_names = [b for b in ("npb/is", "rodinia/heartwall", "parboil/spmv") if b in by_name]
+    wide_names = [b for b in ("parsec/canneal", "mllib/correlation", "parboil/histo") if b in by_name]
+    if narrow_names and wide_names:
+        narrow_std = np.mean([by_name[b].predicted.std() for b in narrow_names])
+        wide_std = np.mean([by_name[b].predicted.std() for b in wide_names])
+        assert narrow_std < 0.6 * wide_std
+
+    ks_vals = np.array([ex.ks for ex in examples])
+    assert ks_vals.min() < 0.35  # the good end of the spectrum is good

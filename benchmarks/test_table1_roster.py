@@ -1,0 +1,26 @@
+"""Table I — the benchmark roster (7 suites, 60 benchmarks)."""
+
+from repro.experiments.figures import table1
+from repro.viz.export import export_table
+
+from _shared import RESULTS_DIR
+
+
+def test_table1_roster(benchmark):
+    table = benchmark.pedantic(table1, rounds=1, iterations=1)
+    export_table(table, "table1_roster", RESULTS_DIR)
+
+    suites = table["suite"]
+    assert len(table) == 60
+    counts = {s: int((suites == s).sum()) for s in set(suites.tolist())}
+    # Paper Table I composition.
+    assert counts == {
+        "npb": 9,
+        "parsec": 9,
+        "spec_omp": 5,
+        "spec_accel": 8,
+        "parboil": 8,
+        "rodinia": 10,
+        "mllib": 11,
+    }
+    print("\nTable I — benchmarks per suite:", counts)

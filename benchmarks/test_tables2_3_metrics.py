@@ -1,0 +1,20 @@
+"""Tables II and III — the perf-metric catalogs (68 Intel / 75 AMD)."""
+
+import numpy as np
+
+from repro.experiments.figures import table2_3
+from repro.viz.export import export_table
+
+from _shared import RESULTS_DIR
+
+
+def test_tables2_3_metrics(benchmark):
+    table = benchmark.pedantic(table2_3, rounds=1, iterations=1)
+    export_table(table, "tables2_3_metrics", RESULTS_DIR)
+
+    systems = table["system"]
+    n_intel = int(np.sum(systems == "intel"))
+    n_amd = int(np.sum(systems == "amd"))
+    assert n_intel == 68  # Table II
+    assert n_amd == 75  # Table III
+    print(f"\nTable II: {n_intel} Intel metrics; Table III: {n_amd} AMD metrics")

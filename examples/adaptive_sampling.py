@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Adaptive stopping: measure just enough runs (paper reference [7]).
+
+The introduction motivates prediction by the cost of measuring full
+distributions, citing adaptive stopping rules as the state of the art for
+choosing sample sizes.  This example applies the implemented rule
+(:class:`repro.stats.AdaptiveStoppingRule`) to two very different
+benchmarks and shows how the required sample count tracks variability —
+then contrasts it with the 10-run prediction shortcut.
+
+Run:  python examples/adaptive_sampling.py
+"""
+
+import numpy as np
+
+from repro import FewRunsPredictor, measure_all
+from repro.simbench import run_campaign
+from repro.stats import AdaptiveStoppingRule, ks_statistic
+
+BENCHMARKS = ("rodinia/heartwall", "spec_accel/303")
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+
+    print("=== adaptive stopping rule (2% precision on the median) ===")
+    for bench in BENCHMARKS:
+        campaign = run_campaign(bench, "intel", 2000)
+        pool = campaign.runtimes.copy()
+        rng.shuffle(pool)
+        cursor = {"i": 0}
+
+        def draw(k: int) -> np.ndarray:
+            i = cursor["i"]
+            cursor["i"] = i + k
+            return pool[i : i + k]
+
+        rule = AdaptiveStoppingRule(
+            target_precision=0.02, min_samples=20, max_samples=2000, rng=0
+        )
+        samples, decision = rule.run(draw, batch_size=20)
+        print(
+            f"{bench:22s} stopped after {decision.n_samples:4d} runs "
+            f"(CI width {decision.relative_width * 100:.2f}% of median)"
+        )
+
+    print("\n=== prediction shortcut: 10 runs + learned model ===")
+    campaigns = measure_all("intel", n_runs=400)
+    for bench in BENCHMARKS:
+        predictor = FewRunsPredictor(n_probe_runs=10, n_replicas=6).fit(
+            campaigns, exclude=(bench,)
+        )
+        probe = campaigns[bench].sample_runs(10, rng)
+        predicted = predictor.predict_distribution(probe).sample(1000, rng=rng)
+        ks = ks_statistic(predicted, campaigns[bench].relative_times())
+        print(f"{bench:22s} KS from 10 runs = {ks:.3f}")
+
+    print(
+        "\nTakeaway: stable applications stop early under the adaptive "
+        "rule, but variable ones still need hundreds of runs — prediction "
+        "delivers a usable distribution estimate at a fixed 10-run budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Automated mode analysis of predicted distributions.
+
+The paper judges predictions qualitatively by whether they recover "the
+number of modes as well as their relative locations and sizes" (Fig. 5).
+This example makes that check automatic with
+:func:`repro.stats.find_modes` / :func:`repro.stats.mode_agreement`:
+predict several held-out benchmarks from ten runs and report the mode
+structure of prediction vs measurement.
+
+Run:  python examples/mode_analysis.py
+"""
+
+import numpy as np
+
+from repro import FewRunsPredictor, measure_all
+from repro.stats import find_modes, mode_agreement
+
+BENCHMARKS = ("spec_omp/376", "parsec/canneal", "rodinia/heartwall", "spec_accel/303")
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    print("measuring training corpus (simulated)...")
+    campaigns = measure_all("intel", n_runs=500)
+
+    print(f"\n{'benchmark':20s} {'modes meas':>10s} {'modes pred':>10s} "
+          f"{'loc err':>8s} {'mass err':>9s}")
+    for bench in BENCHMARKS:
+        predictor = FewRunsPredictor(n_probe_runs=10, n_replicas=6).fit(
+            campaigns, exclude=(bench,)
+        )
+        probe = campaigns[bench].sample_runs(10, rng)
+        predicted = predictor.predict_distribution(probe).sample(1000, rng=rng)
+        measured = campaigns[bench].relative_times()
+
+        agr = mode_agreement(measured, predicted)
+        flag = "" if agr.count_match else "  (count mismatch)"
+        print(
+            f"{bench:20s} {agr.n_measured:10d} {agr.n_predicted:10d} "
+            f"{agr.location_error:8.4f} {agr.mass_error:9.3f}{flag}"
+        )
+
+        modes = find_modes(measured)
+        desc = ", ".join(f"{m.location:.3f} ({m.mass * 100:.0f}%)" for m in modes)
+        print(f"{'':20s} measured modes: {desc}")
+
+    print(
+        "\nNote: moment-based representations (PearsonRnd) summarize "
+        "multimodality through variance/kurtosis, so mode *counts* are "
+        "often blurred while widths and locations remain informative — "
+        "matching the paper's Fig. 5 discussion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: predict a performance distribution from ten runs.
+
+Demonstrates the core use case of *Predicting Performance Variability*
+(IPDPS 2025): train on many profiled benchmarks, then predict the full
+relative-time distribution of an unseen application from just ten runs.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import FewRunsPredictor, PearsonRndRepresentation, measure_all
+from repro.simbench import benchmark_names
+from repro.stats import ks_statistic, moment_vector
+from repro.viz import overlay_ascii
+
+HELD_OUT = "spec_omp/376"  # the paper's Fig.-1 benchmark
+
+
+def main() -> None:
+    rng = np.random.default_rng(2025)
+
+    # 1. Measure a training corpus: every Table-I benchmark, 400 simulated
+    #    runs each, on the Intel-like system.
+    print("measuring 60 benchmarks x 400 runs on 'intel' (simulated)...")
+    campaigns = measure_all("intel", n_runs=400)
+
+    # 2. Train the paper's winning pipeline (kNN + PearsonRnd), holding
+    #    out the application we want to predict.
+    predictor = FewRunsPredictor(
+        representation=PearsonRndRepresentation(), n_probe_runs=10, n_replicas=6
+    ).fit(campaigns, exclude=(HELD_OUT,))
+
+    # 3. Probe the unseen application with only ten runs and predict.
+    probe = campaigns[HELD_OUT].sample_runs(10, rng)
+    predicted = predictor.predict_distribution(probe)
+    predicted_sample = predicted.sample(1000, rng=rng)
+
+    # 4. Compare against the measured 400-run ground truth.
+    measured = campaigns[HELD_OUT].relative_times()
+    ks = ks_statistic(predicted_sample, measured)
+    mv_m, mv_p = moment_vector(measured), moment_vector(predicted_sample)
+
+    print(f"\nheld-out benchmark: {HELD_OUT}")
+    print(f"KS(predicted, measured) = {ks:.3f}  (0 = perfect)")
+    print(f"measured  std={mv_m.std:.4f} skew={mv_m.skew:+.2f} kurt={mv_m.kurt:.2f}")
+    print(f"predicted std={mv_p.std:.4f} skew={mv_p.skew:+.2f} kurt={mv_p.kurt:.2f}\n")
+    print(overlay_ascii(measured, predicted_sample, label=HELD_OUT))
+
+    assert ks < 0.6, "prediction should carry real signal"
+
+
+if __name__ == "__main__":
+    main()

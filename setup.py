@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments where the ``wheel``
+package (required by the PEP 660 editable path of older setuptools) is
+unavailable — pip falls back to the legacy ``setup.py develop`` route.
+"""
+
+from setuptools import setup
+
+setup()

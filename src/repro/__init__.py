@@ -1,0 +1,60 @@
+"""repro — reproduction of *Predicting Performance Variability* (IPDPS 2025).
+
+Predict the full run-to-run performance **distribution** of an application
+— modes, tails, spread — instead of a scalar summary, either from a few
+runs on the same system (use case 1) or from a measured distribution on a
+different system (use case 2).
+
+Quickstart
+----------
+>>> from repro import FewRunsPredictor, measure_all
+>>> campaigns = measure_all("intel", n_runs=300)              # doctest: +SKIP
+>>> probe = campaigns.pop("spec_omp/376")                     # doctest: +SKIP
+>>> predictor = FewRunsPredictor().fit(campaigns)             # doctest: +SKIP
+>>> dist = predictor.predict_distribution(probe.subset(range(10)))  # doctest: +SKIP
+>>> dist.sample(1000)                                         # doctest: +SKIP
+
+Package map
+-----------
+* :mod:`repro.core` — prediction pipelines (the paper's contribution);
+* :mod:`repro.stats` — moments, KDE, KS, Pearson system, MaxEnt;
+* :mod:`repro.ml` — kNN / random forest / gradient boosting, CV splitters;
+* :mod:`repro.simbench` — the simulated benchmarks + systems substrate;
+* :mod:`repro.data` — campaign containers, metric catalogs, mini-table;
+* :mod:`repro.experiments` — per-figure/table reproduction runners;
+* :mod:`repro.viz` — terminal density plots and series export;
+* :mod:`repro.parallel` — deterministic seeding + process-pool map.
+"""
+
+from .core import (
+    CrossSystemPredictor,
+    FewRunsPredictor,
+    HistogramRepresentation,
+    PearsonRndRepresentation,
+    PyMaxEntRepresentation,
+    evaluate_cross_system,
+    evaluate_few_runs,
+    get_model,
+    get_representation,
+    summarize_ks,
+)
+from .simbench import benchmark_names, measure_all, run_campaign
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CrossSystemPredictor",
+    "FewRunsPredictor",
+    "HistogramRepresentation",
+    "PearsonRndRepresentation",
+    "PyMaxEntRepresentation",
+    "evaluate_cross_system",
+    "evaluate_few_runs",
+    "get_model",
+    "get_representation",
+    "summarize_ks",
+    "benchmark_names",
+    "measure_all",
+    "run_campaign",
+    "__version__",
+]

@@ -1,0 +1,107 @@
+"""Input-validation helpers shared across the library.
+
+These mirror the role of ``sklearn.utils.validation`` but are tailored to
+this package: they normalize inputs to C-contiguous float64 arrays (views
+when possible, copies only when required) and raise
+:class:`~repro.errors.ValidationError` with actionable messages.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .errors import ValidationError
+
+__all__ = [
+    "as_float_array",
+    "as_sample_array",
+    "check_2d",
+    "check_matching_length",
+    "check_positive_int",
+    "check_probability",
+    "check_random_state",
+]
+
+
+def as_float_array(x, *, name: str = "array", allow_empty: bool = True) -> np.ndarray:
+    """Convert *x* to a float64 ndarray, rejecting NaN/inf values.
+
+    Returns a view when *x* is already a float64 ndarray (no copy on the
+    hot path), otherwise a converted copy.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    if not allow_empty and arr.size == 0:
+        raise ValidationError(f"{name} must not be empty")
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def as_sample_array(x, *, name: str = "samples", min_size: int = 1) -> np.ndarray:
+    """Convert *x* to a 1-D float64 sample array with at least *min_size* items."""
+    arr = as_float_array(x, name=name)
+    arr = np.atleast_1d(arr)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    if arr.size < min_size:
+        raise ValidationError(
+            f"{name} needs at least {min_size} values, got {arr.size}"
+        )
+    return arr
+
+
+def check_2d(x, *, name: str = "X") -> np.ndarray:
+    """Validate a 2-D float feature matrix."""
+    arr = as_float_array(x, name=name, allow_empty=False)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def check_matching_length(a: np.ndarray, b: np.ndarray, *, names=("X", "y")) -> None:
+    """Raise unless the first axes of *a* and *b* match."""
+    if len(a) != len(b):
+        raise ValidationError(
+            f"{names[0]} and {names[1]} have mismatched lengths: "
+            f"{len(a)} != {len(b)}"
+        )
+
+
+def check_positive_int(value, *, name: str) -> int:
+    """Validate that *value* is a positive integer and return it as int."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_probability(value, *, name: str, inclusive: bool = True) -> float:
+    """Validate that *value* lies in [0, 1] (or (0, 1) when not inclusive)."""
+    v = float(value)
+    lo_ok = v >= 0.0 if inclusive else v > 0.0
+    hi_ok = v <= 1.0 if inclusive else v < 1.0
+    if not (lo_ok and hi_ok):
+        raise ValidationError(f"{name} must lie in the unit interval, got {value}")
+    return v
+
+
+def check_random_state(seed) -> np.random.Generator:
+    """Normalize *seed* into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an int, a ``SeedSequence``, or an
+    existing ``Generator`` (returned as-is so callers can share streams).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer, np.random.SeedSequence)):
+        return np.random.default_rng(seed)
+    if isinstance(seed, Sequence) and all(isinstance(s, (int, np.integer)) for s in seed):
+        return np.random.default_rng(seed)
+    raise ValidationError(
+        f"cannot interpret {type(seed).__name__} as a random seed or Generator"
+    )

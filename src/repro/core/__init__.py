@@ -1,0 +1,56 @@
+"""The paper's primary contribution: performance-distribution prediction.
+
+* :mod:`~repro.core.features` — application-profile featurization;
+* :mod:`~repro.core.representations` — Histogram / PyMaxEnt / PearsonRnd
+  distribution encodings;
+* :mod:`~repro.core.predictors` — the use-case-1 and use-case-2 pipelines;
+* :mod:`~repro.core.evaluation` — the leave-one-group-out KS protocol.
+"""
+
+from .evaluation import (
+    MODELS,
+    KSSummary,
+    evaluate_cross_system,
+    evaluate_few_runs,
+    get_model,
+    summarize_ks,
+)
+from .features import FeatureConfig, feature_names, profile_features
+from .predictors import (
+    CrossSystemPredictor,
+    FewRunsPredictor,
+    build_cross_system_rows,
+    build_few_runs_rows,
+)
+from .representations import (
+    REPRESENTATIONS,
+    DistributionRepresentation,
+    HistogramRepresentation,
+    PearsonRndRepresentation,
+    PyMaxEntRepresentation,
+    ReconstructedDistribution,
+    get_representation,
+)
+
+__all__ = [
+    "MODELS",
+    "KSSummary",
+    "evaluate_cross_system",
+    "evaluate_few_runs",
+    "get_model",
+    "summarize_ks",
+    "FeatureConfig",
+    "feature_names",
+    "profile_features",
+    "CrossSystemPredictor",
+    "FewRunsPredictor",
+    "build_cross_system_rows",
+    "build_few_runs_rows",
+    "REPRESENTATIONS",
+    "DistributionRepresentation",
+    "HistogramRepresentation",
+    "PearsonRndRepresentation",
+    "PyMaxEntRepresentation",
+    "ReconstructedDistribution",
+    "get_representation",
+]

@@ -1,0 +1,223 @@
+"""Leave-one-group-out evaluation of the two use cases (paper Section V).
+
+The paper scores every (representation, model) combination by holding out
+one benchmark at a time — the model never sees the application under test
+— predicting its distribution, and recording the KS statistic against the
+measured 1,000-run distribution.  The violin plots of Figs. 4, 6, 7 and 8
+are distributions of these per-benchmark KS scores.
+
+``evaluate_few_runs`` / ``evaluate_cross_system`` implement that protocol
+on prebuilt training rows (featurized once, refit per fold) and return a
+tidy :class:`~repro.data.table.ColumnTable` with one row per benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_random_state
+from ..data.dataset import RunCampaign
+from ..data.table import ColumnTable
+from ..errors import ValidationError
+from ..ml.base import Regressor
+from ..ml.boosting import GradientBoostingRegressor
+from ..ml.forest import RandomForestRegressor
+from ..ml.knn import KNNRegressor
+from ..ml.scaling import RobustScaler
+from ..parallel.seeding import seed_for
+from ..simbench.suites import suite_of
+from .features import FeatureConfig, profile_features
+from .predictors import build_cross_system_rows, build_few_runs_rows
+from .representations import DistributionRepresentation
+
+__all__ = [
+    "get_model",
+    "MODELS",
+    "evaluate_few_runs",
+    "evaluate_cross_system",
+    "summarize_ks",
+]
+
+_EVAL_SEED = 616161
+
+
+def _make_knn() -> Regressor:
+    return KNNRegressor(15, metric="cosine")
+
+
+def _make_rf() -> Regressor:
+    # sklearn-default-like: unrestricted depth, single-sample leaves.
+    return RandomForestRegressor(
+        n_estimators=40, max_depth=None, max_features="sqrt", min_samples_leaf=1, rng=7
+    )
+
+
+def _make_xgboost() -> Regressor:
+    # XGBoost-default-like: lr 0.3, depth 6, no row/column subsampling
+    # (colsample slightly below 1 keeps single-core runtimes sane while
+    # preserving the default's overfitting behaviour on small corpora).
+    return GradientBoostingRegressor(
+        n_estimators=40,
+        learning_rate=0.3,
+        max_depth=6,
+        subsample=1.0,
+        colsample_bytree=0.5,
+        min_samples_leaf=1,
+        rng=7,
+    )
+
+
+#: The paper's three models under their reporting names.
+MODELS: dict[str, object] = {
+    "knn": _make_knn,
+    "rf": _make_rf,
+    "xgboost": _make_xgboost,
+}
+
+
+def get_model(name: str) -> Regressor:
+    """Fresh instance of a registered model by reporting name."""
+    try:
+        return MODELS[name.lower()]()  # type: ignore[operator]
+    except KeyError:
+        raise ValidationError(
+            f"unknown model {name!r}; choose from {sorted(MODELS)}"
+        ) from None
+
+
+def _resolve_model(model) -> Regressor:
+    return get_model(model) if isinstance(model, str) else model
+
+
+def _logo_ks(
+    X: np.ndarray,
+    Y: np.ndarray,
+    groups: np.ndarray,
+    model: Regressor,
+    representation: DistributionRepresentation,
+    probe_features: dict[str, np.ndarray],
+    measured: dict[str, np.ndarray],
+    *,
+    seed: int,
+) -> ColumnTable:
+    """Shared LOGO loop: refit per held-out benchmark, score KS."""
+    names = sorted(measured)
+    ks_scores = []
+    for bench in names:
+        mask = groups != bench
+        scaler = RobustScaler().fit(X[mask])
+        fitted = model.clone().fit(scaler.transform(X[mask]), Y[mask])
+        vec = fitted.predict(scaler.transform(probe_features[bench][None, :]))[0]
+        rng = check_random_state(seed_for(seed, "ks", bench))
+        ks_scores.append(representation.ks_score(vec, measured[bench], rng=rng))
+    return ColumnTable(
+        {
+            "benchmark": names,
+            "suite": [suite_of(n) for n in names],
+            "ks": np.asarray(ks_scores),
+        }
+    )
+
+
+def evaluate_few_runs(
+    campaigns: dict[str, RunCampaign],
+    *,
+    representation: DistributionRepresentation,
+    model: Regressor | str,
+    n_probe_runs: int = 10,
+    n_replicas: int = 8,
+    feature_config: FeatureConfig | None = None,
+    seed: int = _EVAL_SEED,
+) -> ColumnTable:
+    """Use-case-1 LOGO evaluation; one KS score per benchmark.
+
+    The evaluation probe of each benchmark is drawn with a seed stream
+    disjoint from the training replicas, so a held-out application is
+    scored on a probe the training rows never contained.
+    """
+    mdl = _resolve_model(model)
+    cfg = feature_config or FeatureConfig()
+    X, Y, groups = build_few_runs_rows(
+        campaigns,
+        representation,
+        n_probe_runs=n_probe_runs,
+        n_replicas=n_replicas,
+        feature_config=cfg,
+        seed=seed,
+    )
+    probe_features: dict[str, np.ndarray] = {}
+    measured: dict[str, np.ndarray] = {}
+    for name, campaign in campaigns.items():
+        rng = check_random_state(seed_for(seed, "eval-probe", name, str(n_probe_runs)))
+        probe = campaign.sample_runs(n_probe_runs, rng)
+        probe_features[name] = profile_features(probe, cfg)
+        measured[name] = campaign.relative_times()
+    return _logo_ks(
+        X, Y, groups, mdl, representation, probe_features, measured, seed=seed
+    )
+
+
+def evaluate_cross_system(
+    source_campaigns: dict[str, RunCampaign],
+    target_campaigns: dict[str, RunCampaign],
+    *,
+    representation: DistributionRepresentation,
+    model: Regressor | str,
+    n_replicas: int = 4,
+    feature_config: FeatureConfig | None = None,
+    seed: int = _EVAL_SEED,
+) -> ColumnTable:
+    """Use-case-2 LOGO evaluation; one KS score per benchmark."""
+    mdl = _resolve_model(model)
+    cfg = feature_config or FeatureConfig()
+    common = sorted(set(source_campaigns) & set(target_campaigns))
+    if len(common) < 2:
+        raise ValidationError("need at least two benchmarks common to both systems")
+    src = {k: source_campaigns[k] for k in common}
+    dst = {k: target_campaigns[k] for k in common}
+    X, Y, groups = build_cross_system_rows(
+        src, dst, representation, n_replicas=n_replicas, feature_config=cfg, seed=seed
+    )
+    probe_features: dict[str, np.ndarray] = {}
+    measured: dict[str, np.ndarray] = {}
+    for name in common:
+        x = np.concatenate(
+            [
+                profile_features(src[name], cfg),
+                representation.encode(src[name].relative_times()),
+            ]
+        )
+        probe_features[name] = x
+        measured[name] = dst[name].relative_times()
+    return _logo_ks(
+        X, Y, groups, mdl, representation, probe_features, measured, seed=seed
+    )
+
+
+@dataclass(frozen=True)
+class KSSummary:
+    """Aggregate view of a per-benchmark KS table."""
+
+    mean: float
+    median: float
+    p25: float
+    p75: float
+    worst: float
+    best: float
+    n: int
+
+
+def summarize_ks(table: ColumnTable) -> KSSummary:
+    """Mean/median/quartile summary of the ``ks`` column."""
+    ks = np.asarray(table["ks"], dtype=np.float64)
+    return KSSummary(
+        mean=float(ks.mean()),
+        median=float(np.median(ks)),
+        p25=float(np.percentile(ks, 25)),
+        p75=float(np.percentile(ks, 75)),
+        worst=float(ks.max()),
+        best=float(ks.min()),
+        n=int(ks.size),
+    )

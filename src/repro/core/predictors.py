@@ -1,0 +1,251 @@
+"""The two prediction pipelines (paper Section III-A).
+
+* :class:`FewRunsPredictor` — use case 1: a system-specific model mapping
+  the profile of a few runs to the full relative-time distribution on the
+  same system.
+* :class:`CrossSystemPredictor` — use case 2: a system-to-system model
+  mapping the profile **and measured distribution** on system A to the
+  distribution on system B.
+
+Both pipelines:
+
+* build training rows from measured campaigns (multiple resampled few-run
+  probes per benchmark for use case 1, so the model sees realistic probe
+  noise);
+* scale features (robust scaling — counters are heavy-tailed);
+* train any :class:`repro.ml.base.Regressor`;
+* decode predictions through a
+  :class:`~repro.core.representations.DistributionRepresentation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import check_positive_int, check_random_state
+from ..data.dataset import RunCampaign
+from ..errors import NotFittedError, ValidationError
+from ..ml.base import Regressor
+from ..ml.knn import KNNRegressor
+from ..ml.scaling import RobustScaler
+from ..parallel.seeding import seed_for
+from .features import FeatureConfig, profile_features
+from .representations import (
+    DistributionRepresentation,
+    PearsonRndRepresentation,
+    ReconstructedDistribution,
+)
+
+__all__ = [
+    "FewRunsPredictor",
+    "CrossSystemPredictor",
+    "build_few_runs_rows",
+    "build_cross_system_rows",
+]
+
+_PROBE_SEED = 909090
+
+
+def build_few_runs_rows(
+    campaigns: dict[str, RunCampaign],
+    representation: DistributionRepresentation,
+    *,
+    n_probe_runs: int = 10,
+    n_replicas: int = 8,
+    feature_config: FeatureConfig | None = None,
+    seed: int = _PROBE_SEED,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Training rows for use case 1.
+
+    For every benchmark campaign, draw ``n_replicas`` independent
+    ``n_probe_runs``-run probes; each contributes one row whose features
+    are the probe's profile and whose target is the representation of the
+    **full** measured relative-time distribution.
+
+    Returns (X, Y, groups) where groups holds the benchmark name per row —
+    the unit the leave-one-group-out protocol holds out.
+    """
+    check_positive_int(n_probe_runs, name="n_probe_runs")
+    check_positive_int(n_replicas, name="n_replicas")
+    rows_x, rows_y, groups = [], [], []
+    for name in sorted(campaigns):
+        campaign = campaigns[name]
+        if campaign.n_runs < n_probe_runs:
+            raise ValidationError(
+                f"{name} has {campaign.n_runs} runs < n_probe_runs={n_probe_runs}"
+            )
+        target = representation.encode(campaign.relative_times())
+        rng = check_random_state(seed_for(seed, "probe", name, str(n_probe_runs)))
+        for _ in range(n_replicas):
+            probe = campaign.sample_runs(n_probe_runs, rng)
+            rows_x.append(profile_features(probe, feature_config))
+            rows_y.append(target)
+            groups.append(name)
+    return np.asarray(rows_x), np.asarray(rows_y), np.asarray(groups)
+
+
+def build_cross_system_rows(
+    source: dict[str, RunCampaign],
+    target: dict[str, RunCampaign],
+    representation: DistributionRepresentation,
+    *,
+    n_replicas: int = 4,
+    replica_fraction: float = 0.5,
+    feature_config: FeatureConfig | None = None,
+    seed: int = _PROBE_SEED,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Training rows for use case 2.
+
+    Features: the full-campaign profile on the source system concatenated
+    with the encoded source distribution.  Target: the encoded
+    distribution on the target system.  ``n_replicas`` bootstrap
+    half-campaign replicas per benchmark augment the training set (probe
+    noise regularization); the first replica of each benchmark uses the
+    complete campaign.
+    """
+    check_positive_int(n_replicas, name="n_replicas")
+    common = sorted(set(source) & set(target))
+    if not common:
+        raise ValidationError("source and target campaigns share no benchmarks")
+    rows_x, rows_y, groups = [], [], []
+    for name in common:
+        src, dst = source[name], target[name]
+        y = representation.encode(dst.relative_times())
+        rng = check_random_state(seed_for(seed, "xsys", name))
+        n_half = max(2, int(src.n_runs * replica_fraction))
+        for r in range(n_replicas):
+            probe = src if r == 0 else src.sample_runs(n_half, rng)
+            x = np.concatenate(
+                [
+                    profile_features(probe, feature_config),
+                    representation.encode(probe.relative_times()),
+                ]
+            )
+            rows_x.append(x)
+            rows_y.append(y)
+            groups.append(name)
+    return np.asarray(rows_x), np.asarray(rows_y), np.asarray(groups)
+
+
+@dataclass
+class FewRunsPredictor:
+    """Use case 1: predict a distribution from a few same-system runs.
+
+    Example
+    -------
+    >>> from repro.simbench import measure_all
+    >>> campaigns = measure_all("intel", n_runs=200)      # doctest: +SKIP
+    >>> pred = FewRunsPredictor().fit(campaigns)          # doctest: +SKIP
+    >>> probe = campaigns["npb/cg"].subset(range(10))     # doctest: +SKIP
+    >>> dist = pred.predict_distribution(probe)           # doctest: +SKIP
+    >>> dist.sample(1000).std()                           # doctest: +SKIP
+    """
+
+    model: Regressor = field(default_factory=lambda: KNNRegressor(15, metric="cosine"))
+    representation: DistributionRepresentation = field(
+        default_factory=PearsonRndRepresentation
+    )
+    n_probe_runs: int = 10
+    n_replicas: int = 8
+    feature_config: FeatureConfig = field(default_factory=FeatureConfig)
+    seed: int = _PROBE_SEED
+
+    def fit(self, campaigns: dict[str, RunCampaign], *, exclude: tuple[str, ...] = ()) -> "FewRunsPredictor":
+        """Train on measured campaigns (optionally excluding benchmarks).
+
+        ``exclude`` implements the leave-one-group-out protocol: the
+        benchmark under evaluation must not contribute training rows.
+        """
+        train = {k: v for k, v in campaigns.items() if k not in set(exclude)}
+        if not train:
+            raise ValidationError("no campaigns left to train on")
+        X, Y, groups = build_few_runs_rows(
+            train,
+            self.representation,
+            n_probe_runs=self.n_probe_runs,
+            n_replicas=self.n_replicas,
+            feature_config=self.feature_config,
+            seed=self.seed,
+        )
+        self.scaler_ = RobustScaler().fit(X)
+        self.model_ = self.model.clone().fit(self.scaler_.transform(X), Y)
+        self.groups_ = groups
+        return self
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "model_"):
+            raise NotFittedError("FewRunsPredictor.fit has not been called")
+
+    def predict_vector(self, probe: RunCampaign) -> np.ndarray:
+        """Predicted representation vector for a probe campaign."""
+        self._check_fitted()
+        x = profile_features(probe, self.feature_config)[None, :]
+        return self.model_.predict(self.scaler_.transform(x))[0]
+
+    def predict_distribution(self, probe: RunCampaign) -> ReconstructedDistribution:
+        """Predicted relative-time distribution for a probe campaign."""
+        return self.representation.reconstruct(self.predict_vector(probe))
+
+
+@dataclass
+class CrossSystemPredictor:
+    """Use case 2: predict a distribution on a new system.
+
+    Trained from benchmarks measured on both systems; at prediction time
+    only the source-system campaign of the new application is needed.
+    """
+
+    model: Regressor = field(default_factory=lambda: KNNRegressor(15, metric="cosine"))
+    representation: DistributionRepresentation = field(
+        default_factory=PearsonRndRepresentation
+    )
+    n_replicas: int = 4
+    feature_config: FeatureConfig = field(default_factory=FeatureConfig)
+    seed: int = _PROBE_SEED
+
+    def fit(
+        self,
+        source_campaigns: dict[str, RunCampaign],
+        target_campaigns: dict[str, RunCampaign],
+        *,
+        exclude: tuple[str, ...] = (),
+    ) -> "CrossSystemPredictor":
+        """Train the system-to-system mapping."""
+        excl = set(exclude)
+        src = {k: v for k, v in source_campaigns.items() if k not in excl}
+        dst = {k: v for k, v in target_campaigns.items() if k not in excl}
+        X, Y, groups = build_cross_system_rows(
+            src,
+            dst,
+            self.representation,
+            n_replicas=self.n_replicas,
+            feature_config=self.feature_config,
+            seed=self.seed,
+        )
+        self.scaler_ = RobustScaler().fit(X)
+        self.model_ = self.model.clone().fit(self.scaler_.transform(X), Y)
+        self.groups_ = groups
+        return self
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "model_"):
+            raise NotFittedError("CrossSystemPredictor.fit has not been called")
+
+    def predict_vector(self, source_campaign: RunCampaign) -> np.ndarray:
+        """Predicted target-system representation vector."""
+        self._check_fitted()
+        x = np.concatenate(
+            [
+                profile_features(source_campaign, self.feature_config),
+                self.representation.encode(source_campaign.relative_times()),
+            ]
+        )[None, :]
+        return self.model_.predict(self.scaler_.transform(x))[0]
+
+    def predict_distribution(
+        self, source_campaign: RunCampaign
+    ) -> ReconstructedDistribution:
+        """Predicted relative-time distribution on the target system."""
+        return self.representation.reconstruct(self.predict_vector(source_campaign))

@@ -1,0 +1,14 @@
+"""Data layer: metric catalogs, campaign containers, and a mini table."""
+
+from .catalogs import AMD_METRICS, INTEL_METRICS, metric_catalog
+from .dataset import CampaignStore, RunCampaign
+from .table import ColumnTable
+
+__all__ = [
+    "AMD_METRICS",
+    "INTEL_METRICS",
+    "metric_catalog",
+    "CampaignStore",
+    "RunCampaign",
+    "ColumnTable",
+]

@@ -1,0 +1,149 @@
+"""Run-campaign containers and persistence.
+
+A *campaign* is the measured record the prediction pipelines consume: for
+one (benchmark, system) pair, the runtimes of many repeated executions and
+the per-run profiling-metric matrix.  Campaigns serialize to ``.npz`` so
+expensive simulated measurement sweeps can be cached on disk, mirroring
+how the paper's authors stored their thousand-run datasets.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .._validation import as_float_array
+from ..errors import ValidationError
+
+__all__ = ["RunCampaign", "CampaignStore"]
+
+
+@dataclass(frozen=True)
+class RunCampaign:
+    """All measured runs of one benchmark on one system.
+
+    Attributes
+    ----------
+    benchmark:
+        Fully-qualified benchmark name, e.g. ``"spec_omp/376"``.
+    system:
+        System name, e.g. ``"intel"``.
+    runtimes:
+        Absolute runtimes in seconds, shape ``(n_runs,)``.
+    counters:
+        Raw (non-normalized) counter totals per run, shape
+        ``(n_runs, n_metrics)``.
+    metric_names:
+        Column labels for ``counters``.
+    """
+
+    benchmark: str
+    system: str
+    runtimes: np.ndarray
+    counters: np.ndarray
+    metric_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        rt = as_float_array(self.runtimes, name="runtimes", allow_empty=False)
+        ct = as_float_array(self.counters, name="counters", allow_empty=False)
+        if rt.ndim != 1:
+            raise ValidationError(f"runtimes must be 1-D, got {rt.shape}")
+        if ct.shape != (rt.size, len(self.metric_names)):
+            raise ValidationError(
+                f"counters shape {ct.shape} inconsistent with "
+                f"{rt.size} runs x {len(self.metric_names)} metrics"
+            )
+        if np.any(rt <= 0.0):
+            raise ValidationError("runtimes must be strictly positive")
+        object.__setattr__(self, "runtimes", rt)
+        object.__setattr__(self, "counters", ct)
+        object.__setattr__(self, "metric_names", tuple(self.metric_names))
+
+    @property
+    def n_runs(self) -> int:
+        """Number of measured runs."""
+        return int(self.runtimes.size)
+
+    def relative_times(self) -> np.ndarray:
+        """Runtimes normalized to mean 1 (the paper's 'relative time')."""
+        return self.runtimes / self.runtimes.mean()
+
+    def rates(self) -> np.ndarray:
+        """Counters normalized per second of runtime (paper Section III-B1)."""
+        return self.counters / self.runtimes[:, None]
+
+    def subset(self, indices) -> "RunCampaign":
+        """Campaign restricted to the given run indices."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return RunCampaign(
+            self.benchmark,
+            self.system,
+            self.runtimes[idx],
+            self.counters[idx],
+            self.metric_names,
+        )
+
+    def sample_runs(self, n: int, rng: np.random.Generator) -> "RunCampaign":
+        """Random without-replacement subset of *n* runs."""
+        if n > self.n_runs:
+            raise ValidationError(f"cannot sample {n} of {self.n_runs} runs")
+        return self.subset(rng.choice(self.n_runs, size=n, replace=False))
+
+
+class CampaignStore:
+    """Directory-backed cache of campaigns (one ``.npz`` per pair)."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, benchmark: str, system: str) -> Path:
+        safe = benchmark.replace("/", "__")
+        return self.root / f"{system}__{safe}.npz"
+
+    def save(self, campaign: RunCampaign) -> Path:
+        """Persist a campaign; returns the file path."""
+        path = self._path(campaign.benchmark, campaign.system)
+        np.savez_compressed(
+            path,
+            runtimes=campaign.runtimes,
+            counters=campaign.counters,
+            meta=json.dumps(
+                {
+                    "benchmark": campaign.benchmark,
+                    "system": campaign.system,
+                    "metric_names": list(campaign.metric_names),
+                }
+            ),
+        )
+        return path
+
+    def load(self, benchmark: str, system: str) -> RunCampaign:
+        """Load a previously saved campaign."""
+        path = self._path(benchmark, system)
+        if not path.exists():
+            raise FileNotFoundError(f"no cached campaign at {path}")
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            return RunCampaign(
+                meta["benchmark"],
+                meta["system"],
+                data["runtimes"],
+                data["counters"],
+                tuple(meta["metric_names"]),
+            )
+
+    def has(self, benchmark: str, system: str) -> bool:
+        """Whether a cached campaign exists."""
+        return self._path(benchmark, system).exists()
+
+    def list_campaigns(self) -> list[tuple[str, str]]:
+        """All (benchmark, system) pairs in the store."""
+        out = []
+        for p in sorted(self.root.glob("*.npz")):
+            system, bench = p.stem.split("__", 1)
+            out.append((bench.replace("__", "/"), system))
+        return out

@@ -1,0 +1,154 @@
+"""A minimal column-oriented table (pandas stand-in).
+
+The experiment harness needs tidy tabular results — named columns, row
+filtering, group-by aggregation, CSV export — but pandas is not available
+in this environment.  ``ColumnTable`` covers exactly that surface with
+NumPy object/float columns and nothing more.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["ColumnTable"]
+
+
+class ColumnTable:
+    """Immutable-ish named-column table.
+
+    Columns are NumPy arrays of equal length.  Construction validates
+    lengths; mutation is limited to :meth:`with_column` which returns a
+    new table.
+    """
+
+    def __init__(self, columns: Mapping[str, Sequence[Any]]) -> None:
+        if not columns:
+            raise ValidationError("a table needs at least one column")
+        self._data: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for name, values in columns.items():
+            arr = np.asarray(values)
+            if length is None:
+                length = arr.shape[0] if arr.ndim else 1
+            if arr.ndim != 1 or arr.shape[0] != length:
+                raise ValidationError(
+                    f"column {name!r} has shape {arr.shape}, expected ({length},)"
+                )
+            self._data[name] = arr
+        self._length = int(length or 0)
+
+    # -- basics -------------------------------------------------------------
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in insertion order."""
+        return list(self._data)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        if name not in self._data:
+            raise KeyError(f"no column {name!r}; have {self.column_names}")
+        return self._data[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data
+
+    def row(self, i: int) -> dict[str, Any]:
+        """Row *i* as a plain dict."""
+        return {k: v[i] for k, v in self._data.items()}
+
+    def rows(self) -> Iterable[dict[str, Any]]:
+        """Iterate rows as dicts."""
+        return (self.row(i) for i in range(self._length))
+
+    # -- transforms -----------------------------------------------------------
+
+    def with_column(self, name: str, values) -> "ColumnTable":
+        """New table with an added/replaced column."""
+        data = dict(self._data)
+        data[name] = np.asarray(values)
+        return ColumnTable(data)
+
+    def select(self, names: Sequence[str]) -> "ColumnTable":
+        """New table with a column subset."""
+        return ColumnTable({n: self[n] for n in names})
+
+    def filter(self, mask) -> "ColumnTable":
+        """New table keeping rows where *mask* is True."""
+        m = np.asarray(mask, dtype=bool)
+        if m.shape != (self._length,):
+            raise ValidationError(f"mask shape {m.shape} != ({self._length},)")
+        return ColumnTable({k: v[m] for k, v in self._data.items()})
+
+    def sort_by(self, name: str, *, descending: bool = False) -> "ColumnTable":
+        """New table sorted by one column."""
+        order = np.argsort(self[name], kind="stable")
+        if descending:
+            order = order[::-1]
+        return ColumnTable({k: v[order] for k, v in self._data.items()})
+
+    def group_by(
+        self,
+        key: str,
+        aggregations: Mapping[str, tuple[str, Callable[[np.ndarray], Any]]],
+    ) -> "ColumnTable":
+        """Group rows by *key* and aggregate.
+
+        ``aggregations`` maps output column name to
+        ``(input column, reduction)``.
+        """
+        keys = self[key]
+        uniques = np.unique(keys)
+        out: dict[str, list[Any]] = {key: list(uniques)}
+        for out_name in aggregations:
+            out[out_name] = []
+        for val in uniques:
+            mask = keys == val
+            for out_name, (col, fn) in aggregations.items():
+                out[out_name].append(fn(self[col][mask]))
+        return ColumnTable(out)
+
+    # -- IO ---------------------------------------------------------------
+
+    def to_csv(self, path) -> None:
+        """Write the table as CSV (floats at full repr precision)."""
+        import csv
+
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(self.column_names)
+            for row in self.rows():
+                writer.writerow([row[c] for c in self.column_names])
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Mapping[str, Any]]) -> "ColumnTable":
+        """Build a table from a list of dict rows (keys must agree)."""
+        if not rows:
+            raise ValidationError("from_rows needs at least one row")
+        names = list(rows[0])
+        return cls({n: [r[n] for r in rows] for n in names})
+
+    def to_markdown(self, *, floatfmt: str = ".4g") -> str:
+        """Render as a GitHub-flavored markdown table."""
+
+        def fmt(v: Any) -> str:
+            if isinstance(v, (float, np.floating)):
+                return format(float(v), floatfmt)
+            return str(v)
+
+        header = "| " + " | ".join(self.column_names) + " |"
+        sep = "|" + "|".join("---" for _ in self.column_names) + "|"
+        body = [
+            "| " + " | ".join(fmt(row[c]) for c in self.column_names) + " |"
+            for row in self.rows()
+        ]
+        return "\n".join([header, sep, *body])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnTable({self._length} rows x {len(self._data)} cols)"

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still letting programming errors (``TypeError`` on wrong argument
+types, etc.) propagate normally.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "NotFittedError",
+    "ValidationError",
+    "MomentError",
+    "ReconstructionError",
+    "ConvergenceError",
+    "UnknownBenchmarkError",
+    "UnknownSystemError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input array or argument failed validation."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An estimator was used before :meth:`fit` was called."""
+
+
+class MomentError(ValidationError):
+    """A moment vector is infeasible (e.g. kurtosis < skewness**2 + 1)."""
+
+
+class ReconstructionError(ReproError, RuntimeError):
+    """A distribution could not be reconstructed from its representation."""
+
+
+class ConvergenceError(ReconstructionError):
+    """An iterative reconstruction (e.g. MaxEnt Newton solve) diverged."""
+
+
+class UnknownBenchmarkError(ReproError, KeyError):
+    """A benchmark name was not found in the roster."""
+
+
+class UnknownSystemError(ReproError, KeyError):
+    """A system name was not found in the registry."""

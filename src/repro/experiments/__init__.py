@@ -1,0 +1,32 @@
+"""Experiment runners — one per paper figure/table (see DESIGN.md index)."""
+
+from .config import FAST_CONFIG, PAPER_CONFIG, ExperimentConfig
+from .figures import Figure1Data, figure1, figure3, table1, table2_3
+from .reporting import (
+    best_by_model,
+    best_by_representation,
+    direction_report,
+    grid_mean_ks,
+    grid_report,
+    sweep_report,
+)
+from . import usecase1, usecase2
+
+__all__ = [
+    "FAST_CONFIG",
+    "PAPER_CONFIG",
+    "ExperimentConfig",
+    "Figure1Data",
+    "figure1",
+    "figure3",
+    "table1",
+    "table2_3",
+    "best_by_model",
+    "best_by_representation",
+    "direction_report",
+    "grid_mean_ks",
+    "grid_report",
+    "sweep_report",
+    "usecase1",
+    "usecase2",
+]

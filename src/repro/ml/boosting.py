@@ -1,0 +1,149 @@
+"""Gradient-boosted regression trees (the paper's "XGBoost" model).
+
+An XGBoost-style second-order boosted ensemble specialized to squared
+error, where the gradient statistics are exact and the Hessian is constant:
+each round fits a shallow multi-output CART tree to the residual vectors
+and replaces every leaf mean with the **regularized Newton step**
+``sum(residuals) / (count + reg_lambda)`` — the same leaf-weight formula
+XGBoost uses for ``reg:squarederror``.  Shrinkage (``learning_rate``), row
+subsampling, and per-tree column subsampling match the XGBoost knobs the
+paper's setup exposes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_int, check_probability, check_random_state
+from ..errors import ValidationError
+from .base import Regressor, validate_fit_inputs
+from .tree import RegressionTree
+
+__all__ = ["GradientBoostingRegressor"]
+
+
+class GradientBoostingRegressor(Regressor):
+    """Boosted multi-output regression trees with XGBoost-style leaves.
+
+    Parameters
+    ----------
+    n_estimators:
+        Boosting rounds.
+    learning_rate:
+        Shrinkage applied to each tree's contribution.
+    max_depth:
+        Depth of each weak learner (XGBoost default 6; shallow trees work
+        best on the paper's small tabular datasets).
+    reg_lambda:
+        L2 regularization on leaf weights (XGBoost ``lambda``).
+    subsample:
+        Row-sampling fraction per round (without replacement).
+    colsample_bytree:
+        Column-sampling fraction per tree.
+    min_samples_leaf:
+        Minimum rows per leaf in the weak learners.
+    rng:
+        Seed or Generator.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        *,
+        learning_rate: float = 0.1,
+        max_depth: int = 4,
+        reg_lambda: float = 1.0,
+        subsample: float = 1.0,
+        colsample_bytree: float = 1.0,
+        min_samples_leaf: int = 1,
+        rng=None,
+    ) -> None:
+        self.n_estimators = check_positive_int(n_estimators, name="n_estimators")
+        if learning_rate <= 0.0:
+            raise ValidationError("learning_rate must be positive")
+        self.learning_rate = float(learning_rate)
+        self.max_depth = check_positive_int(max_depth, name="max_depth")
+        if reg_lambda < 0.0:
+            raise ValidationError("reg_lambda must be non-negative")
+        self.reg_lambda = float(reg_lambda)
+        self.subsample = check_probability(subsample, name="subsample", inclusive=True)
+        if self.subsample <= 0.0:
+            raise ValidationError("subsample must be in (0, 1]")
+        self.colsample_bytree = check_probability(
+            colsample_bytree, name="colsample_bytree", inclusive=True
+        )
+        if self.colsample_bytree <= 0.0:
+            raise ValidationError("colsample_bytree must be in (0, 1]")
+        self.min_samples_leaf = check_positive_int(
+            min_samples_leaf, name="min_samples_leaf"
+        )
+        self.rng = rng
+
+    def _regularize_leaves(self, tree: RegressionTree, X: np.ndarray, resid: np.ndarray, rows: np.ndarray) -> None:
+        """Replace leaf means with regularized Newton steps.
+
+        For squared error, grad_i = -resid_i and hess_i = 1, so the optimal
+        regularized leaf weight is sum(resid)/(count + lambda).
+        """
+        leaf_of_row = np.zeros(rows.size, dtype=np.intp)
+        node = np.zeros(rows.size, dtype=np.intp)
+        active = tree._feature[node] >= 0
+        Xr = X[rows]
+        while np.any(active):
+            sel = np.nonzero(active)[0]
+            nid = node[sel]
+            go_left = Xr[sel, tree._feature[nid]] <= tree._threshold[nid]
+            node[sel] = np.where(go_left, tree._left[nid], tree._right[nid])
+            active[sel] = tree._feature[node[sel]] >= 0
+        leaf_of_row = node
+        k = resid.shape[1]
+        sums = np.zeros((tree.node_count, k))
+        counts = np.zeros(tree.node_count)
+        np.add.at(sums, leaf_of_row, resid[rows])
+        np.add.at(counts, leaf_of_row, 1.0)
+        leaves = np.nonzero(counts > 0)[0]
+        tree._value[leaves] = sums[leaves] / (counts[leaves] + self.reg_lambda)[:, None]
+
+    def fit(self, X, y) -> "GradientBoostingRegressor":
+        Xv, yv = validate_fit_inputs(X, y)
+        gen = check_random_state(self.rng)
+        n, d = Xv.shape
+        k = yv.shape[1]
+        self.base_prediction_ = yv.mean(axis=0)
+        self.trees_: list[RegressionTree] = []
+        self.tree_columns_: list[np.ndarray] = []
+        current = np.tile(self.base_prediction_, (n, 1))
+        n_rows = max(1, int(round(self.subsample * n)))
+        n_cols = max(1, int(round(self.colsample_bytree * d)))
+        for _ in range(self.n_estimators):
+            resid = yv - current
+            rows = (
+                gen.choice(n, size=n_rows, replace=False)
+                if n_rows < n
+                else np.arange(n)
+            )
+            cols = (
+                np.sort(gen.choice(d, size=n_cols, replace=False))
+                if n_cols < d
+                else np.arange(d)
+            )
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                rng=gen,
+            )
+            tree.fit(Xv[np.ix_(rows, cols)], resid[rows])
+            # Leaf regularization must see the same column view.
+            self._regularize_leaves(tree, Xv[:, cols], resid, rows)
+            current += self.learning_rate * tree._predict(Xv[:, cols])
+            self.trees_.append(tree)
+            self.tree_columns_.append(cols)
+        self.n_features_ = d
+        self.n_outputs_ = k
+        return self
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        out = np.tile(self.base_prediction_, (X.shape[0], 1))
+        for tree, cols in zip(self.trees_, self.tree_columns_):
+            out += self.learning_rate * tree._predict(X[:, cols])
+        return out

@@ -1,0 +1,125 @@
+"""k-nearest-neighbors regression.
+
+The paper's best model (Section III-B3): kNN with **k = 15** and **cosine
+similarity** as the distance metric, chosen "because of its ability to deal
+with noisy data".  Euclidean and Manhattan metrics are provided for the
+ablation study.
+
+Prediction is the (optionally distance-weighted) mean of the neighbors'
+target vectors; with multi-output targets this directly averages whole
+distribution representations, which is exactly the smoothing behaviour the
+paper exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..errors import ValidationError
+from .base import Regressor, validate_fit_inputs
+
+__all__ = ["KNNRegressor", "pairwise_distances"]
+
+_METRICS = ("cosine", "euclidean", "manhattan")
+
+
+def pairwise_distances(A: np.ndarray, B: np.ndarray, metric: str) -> np.ndarray:
+    """Dense distance matrix between rows of *A* (queries) and *B* (data).
+
+    All three metrics are computed with matrix algebra (no Python loops):
+
+    * ``cosine``: ``1 - <a, b> / (|a| |b|)``; zero vectors are given unit
+      norm so they are maximally distant from everything but themselves.
+    * ``euclidean``: via the expanded ``|a|^2 - 2 a.b + |b|^2`` form.
+    * ``manhattan``: broadcast absolute differences, chunked to bound
+      peak memory.
+    """
+    if metric == "cosine":
+        na = np.linalg.norm(A, axis=1)
+        nb = np.linalg.norm(B, axis=1)
+        na = np.where(na > 0.0, na, 1.0)
+        nb = np.where(nb > 0.0, nb, 1.0)
+        sim = (A @ B.T) / np.outer(na, nb)
+        return 1.0 - np.clip(sim, -1.0, 1.0)
+    if metric == "euclidean":
+        sq = (
+            np.sum(A * A, axis=1)[:, None]
+            - 2.0 * (A @ B.T)
+            + np.sum(B * B, axis=1)[None, :]
+        )
+        return np.sqrt(np.clip(sq, 0.0, None))
+    if metric == "manhattan":
+        out = np.empty((A.shape[0], B.shape[0]))
+        # Chunk queries so the 3-D broadcast stays within ~64 MB.
+        chunk = max(1, int(8_000_000 // max(B.size, 1)))
+        for start in range(0, A.shape[0], chunk):
+            sl = slice(start, start + chunk)
+            out[sl] = np.abs(A[sl, None, :] - B[None, :, :]).sum(axis=2)
+        return out
+    raise ValidationError(f"unknown metric {metric!r}; choose from {_METRICS}")
+
+
+class KNNRegressor(Regressor):
+    """Multi-output k-nearest-neighbors regressor.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbors (paper: 15).  Clipped to the training-set size
+        at fit time.
+    metric:
+        ``"cosine"`` (paper default), ``"euclidean"``, or ``"manhattan"``.
+    weights:
+        ``"uniform"`` for a plain mean of neighbor targets or
+        ``"distance"`` for inverse-distance weighting (exact matches win
+        outright).
+    """
+
+    def __init__(
+        self,
+        n_neighbors: int = 15,
+        *,
+        metric: str = "cosine",
+        weights: str = "uniform",
+    ) -> None:
+        self.n_neighbors = check_positive_int(n_neighbors, name="n_neighbors")
+        if metric not in _METRICS:
+            raise ValidationError(f"unknown metric {metric!r}; choose from {_METRICS}")
+        if weights not in ("uniform", "distance"):
+            raise ValidationError("weights must be 'uniform' or 'distance'")
+        self.metric = metric
+        self.weights = weights
+
+    def fit(self, X, y) -> "KNNRegressor":
+        Xv, yv = validate_fit_inputs(X, y)
+        self._X = Xv.copy()
+        self._y = yv.copy()
+        self.n_features_ = Xv.shape[1]
+        self.n_outputs_ = yv.shape[1]
+        return self
+
+    def kneighbors(self, X) -> tuple[np.ndarray, np.ndarray]:
+        """(distances, indices) of each query's k nearest training rows."""
+        from .base import validate_predict_input
+
+        Xv = validate_predict_input(self, X)
+        k = min(self.n_neighbors, self._X.shape[0])
+        dist = pairwise_distances(Xv, self._X, self.metric)
+        idx = np.argpartition(dist, k - 1, axis=1)[:, :k]
+        d = np.take_along_axis(dist, idx, axis=1)
+        order = np.argsort(d, axis=1)
+        return np.take_along_axis(d, order, axis=1), np.take_along_axis(idx, order, axis=1)
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        d, idx = self.kneighbors(X)
+        neigh_y = self._y[idx]  # (n_queries, k, n_outputs)
+        if self.weights == "uniform":
+            return neigh_y.mean(axis=1)
+        # Inverse-distance weights; an exact match (d == 0) dominates.
+        exact = d <= 1e-15
+        w = np.where(exact, 0.0, 1.0 / np.where(exact, 1.0, d))
+        has_exact = exact.any(axis=1)
+        w[has_exact] = exact[has_exact].astype(np.float64)
+        w /= w.sum(axis=1, keepdims=True)
+        return np.einsum("qk,qko->qo", w, neigh_y)

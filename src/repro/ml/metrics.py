@@ -1,0 +1,51 @@
+"""Regression quality metrics (vectorized, multi-output aware)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float_array
+from ..errors import ValidationError
+
+__all__ = ["mean_squared_error", "mean_absolute_error", "r2_score"]
+
+
+def _pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    a = as_float_array(y_true, name="y_true", allow_empty=False)
+    b = as_float_array(y_pred, name="y_pred", allow_empty=False)
+    if a.shape != b.shape:
+        raise ValidationError(f"shape mismatch: {a.shape} vs {b.shape}")
+    # 1-D targets are single-output columns, not a single row of outputs.
+    if a.ndim == 1:
+        a = a.reshape(-1, 1)
+        b = b.reshape(-1, 1)
+    return a, b
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean squared error averaged over samples and outputs."""
+    a, b = _pair(y_true, y_pred)
+    return float(np.mean((a - b) ** 2))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean absolute error averaged over samples and outputs."""
+    a, b = _pair(y_true, y_pred)
+    return float(np.mean(np.abs(a - b)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination, uniformly averaged across outputs.
+
+    A constant-target output contributes 1.0 when predicted exactly and
+    0.0 otherwise, matching the sklearn convention closely enough for
+    reporting purposes.
+    """
+    a, b = _pair(y_true, y_pred)
+    ss_res = np.sum((a - b) ** 2, axis=0)
+    mean = a.mean(axis=0)
+    ss_tot = np.sum((a - mean) ** 2, axis=0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        r2 = 1.0 - ss_res / ss_tot
+    r2 = np.where(ss_tot > 0.0, r2, np.where(ss_res <= 1e-30, 1.0, 0.0))
+    return float(np.mean(r2))

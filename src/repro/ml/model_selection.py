@@ -1,0 +1,128 @@
+"""Cross-validation splitters and helpers.
+
+The paper's evaluation uses **leave-one-group-out** cross-validation from
+scikit-learn where the group is the benchmark: all training rows derived
+from the application under test are excluded, so the model has never seen
+that application (Section IV-A).  KFold and GroupKFold are provided for
+model development.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .._validation import check_positive_int, check_random_state
+from ..errors import ValidationError
+
+__all__ = ["KFold", "GroupKFold", "LeaveOneGroupOut", "cross_val_predict"]
+
+Split = tuple[np.ndarray, np.ndarray]
+
+
+class KFold:
+    """Classic k-fold splitter with optional shuffling."""
+
+    def __init__(self, n_splits: int = 5, *, shuffle: bool = False, rng=None) -> None:
+        self.n_splits = check_positive_int(n_splits, name="n_splits")
+        if self.n_splits < 2:
+            raise ValidationError("n_splits must be >= 2")
+        self.shuffle = shuffle
+        self.rng = rng
+
+    def split(self, X, y=None, groups=None) -> Iterator[Split]:
+        n = len(X)
+        if n < self.n_splits:
+            raise ValidationError(
+                f"cannot split {n} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n)
+        if self.shuffle:
+            check_random_state(self.rng).shuffle(indices)
+        for fold in np.array_split(indices, self.n_splits):
+            test = np.sort(fold)
+            train = np.setdiff1d(indices, test)
+            yield train, test
+
+    def get_n_splits(self, X=None, y=None, groups=None) -> int:
+        return self.n_splits
+
+
+class GroupKFold:
+    """K-fold where all rows of a group land in the same fold.
+
+    Groups are assigned to folds greedily by descending size, balancing
+    fold populations.
+    """
+
+    def __init__(self, n_splits: int = 5) -> None:
+        self.n_splits = check_positive_int(n_splits, name="n_splits")
+        if self.n_splits < 2:
+            raise ValidationError("n_splits must be >= 2")
+
+    def split(self, X, y=None, groups=None) -> Iterator[Split]:
+        if groups is None:
+            raise ValidationError("GroupKFold requires groups")
+        g = np.asarray(groups)
+        if len(g) != len(X):
+            raise ValidationError("groups length must match X")
+        unique, counts = np.unique(g, return_counts=True)
+        if unique.size < self.n_splits:
+            raise ValidationError(
+                f"{unique.size} groups cannot fill {self.n_splits} folds"
+            )
+        order = np.argsort(counts)[::-1]
+        fold_of_group: dict = {}
+        loads = np.zeros(self.n_splits)
+        for gi in order:
+            tgt = int(np.argmin(loads))
+            fold_of_group[unique[gi]] = tgt
+            loads[tgt] += counts[gi]
+        fold_idx = np.array([fold_of_group[v] for v in g])
+        all_idx = np.arange(len(g))
+        for f in range(self.n_splits):
+            test = all_idx[fold_idx == f]
+            train = all_idx[fold_idx != f]
+            yield train, test
+
+    def get_n_splits(self, X=None, y=None, groups=None) -> int:
+        return self.n_splits
+
+
+class LeaveOneGroupOut:
+    """One fold per distinct group — the paper's evaluation protocol."""
+
+    def split(self, X, y=None, groups=None) -> Iterator[Split]:
+        if groups is None:
+            raise ValidationError("LeaveOneGroupOut requires groups")
+        g = np.asarray(groups)
+        if len(g) != len(X):
+            raise ValidationError("groups length must match X")
+        unique = np.unique(g)
+        if unique.size < 2:
+            raise ValidationError("need at least 2 groups")
+        all_idx = np.arange(len(g))
+        for val in unique:
+            mask = g == val
+            yield all_idx[~mask], all_idx[mask]
+
+    def get_n_splits(self, X=None, y=None, groups=None) -> int:
+        return int(np.unique(np.asarray(groups)).size)
+
+
+def cross_val_predict(model, X, y, *, cv, groups=None) -> np.ndarray:
+    """Out-of-fold predictions for every row of X.
+
+    The model is cloned per fold (fresh fit each time).  Rows never
+    assigned to a test fold — impossible with the splitters above — would
+    keep NaNs, so the output is guaranteed finite for exhaustive CVs.
+    """
+    Xv = np.asarray(X, dtype=np.float64)
+    yv = np.asarray(y, dtype=np.float64)
+    y2 = yv.reshape(len(yv), -1)
+    out = np.full(y2.shape, np.nan)
+    for train, test in cv.split(Xv, y2, groups):
+        fitted = model.clone().fit(Xv[train], y2[train])
+        out[test] = fitted.predict(Xv[test])
+    return out.reshape(yv.shape)

@@ -1,0 +1,263 @@
+"""Multi-output CART regression trees with vectorized split search.
+
+The split criterion is total squared-error reduction **summed over all
+output dimensions**, so a single tree can predict an entire distribution
+representation (histogram bins or moment vectors).  The split search is
+vectorized across candidate features in chunks: for each node we sort the
+node's rows per feature, build cumulative sums of the targets and squared
+targets, and evaluate every admissible split position of every candidate
+feature in one broadcast expression — no Python-level loop over split
+points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive_int, check_random_state
+from ..errors import ValidationError
+from .base import Regressor, validate_fit_inputs
+
+__all__ = ["RegressionTree"]
+
+def _feature_chunk(n_rows: int, n_outputs: int) -> int:
+    """Features per split-search chunk, targeting ~32 MB of scratch.
+
+    Larger chunks amortize NumPy call overhead (the dominant cost for
+    shallow boosted trees); the cap keeps the (n, chunk, k) cumsum tensor
+    within a fixed memory budget.
+    """
+    budget_floats = 4_000_000
+    per_feature = max(n_rows * max(n_outputs, 1), 1)
+    return int(np.clip(budget_floats // per_feature, 8, 512))
+
+
+@dataclass
+class _NodeTask:
+    node_id: int
+    indices: np.ndarray
+    depth: int
+
+
+def _best_split_for_chunk(
+    Xn: np.ndarray,
+    Yn: np.ndarray,
+    feat_ids: np.ndarray,
+    min_leaf: int,
+) -> tuple[float, int, float] | None:
+    """Best (score, feature, threshold) within one chunk of features.
+
+    ``score`` is the post-split total SSE (lower is better); returns None
+    when no admissible split exists in the chunk.
+
+    The cumulative-sum/einsum kernel runs in float32: the split search is
+    memory-bandwidth-bound and split *selection* only needs enough
+    precision to rank candidate positions; leaf values are computed in
+    float64 by the caller.
+    """
+    n = Xn.shape[0]
+    order = np.argsort(Xn, axis=0, kind="stable")
+    xs = np.take_along_axis(Xn, order, axis=0)  # (n, f) sorted values
+    Ys = Yn[order]  # (n, f, k) targets in per-feature sorted order
+
+    cum_s = np.cumsum(Ys, axis=0, dtype=np.float32)  # (n, f, k)
+    total_s = cum_s[-1]  # (f, k)
+    left_cnt = np.arange(1, n, dtype=np.float32)[:, None]  # (n-1, 1)
+    right_cnt = n - left_cnt
+
+    left_sq = np.einsum("ifk,ifk->if", cum_s[:-1], cum_s[:-1])
+    right_sum = total_s[None, :, :] - cum_s[:-1]
+    right_sq = np.einsum("ifk,ifk->if", right_sum, right_sum)
+    # Constant total_q term omitted: minimizing -left_sq/nl - right_sq/nr
+    # is equivalent to minimizing the post-split SSE.
+    score = -(left_sq / left_cnt + right_sq / right_cnt)  # (n-1, f)
+
+    # Mask inadmissible split positions: ties and min_samples_leaf.
+    ties = xs[:-1] == xs[1:]
+    score[ties] = np.inf
+    if min_leaf > 1:
+        score[: min_leaf - 1] = np.inf
+        if min_leaf - 1 > 0:
+            score[n - min_leaf :] = np.inf
+    if not np.any(np.isfinite(score)):
+        return None
+    flat = np.argmin(score)
+    pos, fidx = np.unravel_index(flat, score.shape)
+    best = float(score[pos, fidx])
+    if not np.isfinite(best):
+        return None
+    threshold = 0.5 * (xs[pos, fidx] + xs[pos + 1, fidx])
+    # Guard against midpoint rounding onto the right value.
+    if threshold >= xs[pos + 1, fidx]:
+        threshold = xs[pos, fidx]
+    return best, int(feat_ids[fidx]), float(threshold)
+
+
+class RegressionTree(Regressor):
+    """CART regression tree with multi-output leaves.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (None = grow until pure/underpopulated).
+    min_samples_split:
+        Minimum rows in a node to attempt a split.
+    min_samples_leaf:
+        Minimum rows required in each child.
+    max_features:
+        Per-node feature subsampling: None (all), an int count, a float
+        fraction, or ``"sqrt"``.  Randomized per node via *rng* — this is
+        the decorrelation knob random forests rely on.
+    rng:
+        Seed or Generator for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = None,
+        rng=None,
+    ) -> None:
+        if max_depth is not None:
+            max_depth = check_positive_int(max_depth, name="max_depth")
+        self.max_depth = max_depth
+        self.min_samples_split = check_positive_int(
+            min_samples_split, name="min_samples_split"
+        )
+        self.min_samples_leaf = check_positive_int(
+            min_samples_leaf, name="min_samples_leaf"
+        )
+        self.max_features = max_features
+        self.rng = rng
+
+    # -- internals ---------------------------------------------------------
+
+    def _n_candidate_features(self, d: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return d
+        if mf == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        if isinstance(mf, float):
+            if not 0.0 < mf <= 1.0:
+                raise ValidationError(f"max_features fraction out of (0,1]: {mf}")
+            return max(1, int(round(mf * d)))
+        return min(d, check_positive_int(mf, name="max_features"))
+
+    def fit(self, X, y, sample_indices=None) -> "RegressionTree":
+        """Grow the tree on (X, y).
+
+        ``sample_indices`` optionally restricts training to a row subset
+        (used by bagging to avoid copying the feature matrix).
+        """
+        Xv, yv = validate_fit_inputs(X, y)
+        gen = check_random_state(self.rng)
+        n, d = Xv.shape
+        k = yv.shape[1]
+        root_idx = (
+            np.arange(n, dtype=np.intp)
+            if sample_indices is None
+            else np.asarray(sample_indices, dtype=np.intp)
+        )
+        n_cand = self._n_candidate_features(d)
+
+        features: list[int] = []
+        thresholds: list[float] = []
+        lefts: list[int] = []
+        rights: list[int] = []
+        values: list[np.ndarray] = []
+
+        def new_node() -> int:
+            features.append(-1)
+            thresholds.append(np.nan)
+            lefts.append(-1)
+            rights.append(-1)
+            values.append(np.zeros(k))
+            return len(features) - 1
+
+        stack = [_NodeTask(new_node(), root_idx, 0)]
+        while stack:
+            task = stack.pop()
+            idx = task.indices
+            Yn = yv[idx]
+            values[task.node_id] = Yn.mean(axis=0)
+            if (
+                idx.size < self.min_samples_split
+                or idx.size < 2 * self.min_samples_leaf
+                or (self.max_depth is not None and task.depth >= self.max_depth)
+            ):
+                continue
+            # Pure-node shortcut: zero spread in every output.
+            if np.allclose(Yn, Yn[0], rtol=0.0, atol=1e-15):
+                continue
+
+            if n_cand < d:
+                cand = gen.choice(d, size=n_cand, replace=False)
+            else:
+                cand = np.arange(d)
+            best: tuple[float, int, float] | None = None
+            Xnode = Xv[idx]
+            chunk_size = _feature_chunk(idx.size, k)
+            for start in range(0, cand.size, chunk_size):
+                chunk = cand[start : start + chunk_size]
+                res = _best_split_for_chunk(
+                    Xnode[:, chunk], Yn, chunk, self.min_samples_leaf
+                )
+                if res is not None and (best is None or res[0] < best[0]):
+                    best = res
+            if best is None:
+                continue
+            _, feat, thr = best
+            mask = Xv[idx, feat] <= thr
+            left_idx = idx[mask]
+            right_idx = idx[~mask]
+            if left_idx.size < self.min_samples_leaf or right_idx.size < self.min_samples_leaf:
+                continue
+            lid, rid = new_node(), new_node()
+            features[task.node_id] = feat
+            thresholds[task.node_id] = thr
+            lefts[task.node_id] = lid
+            rights[task.node_id] = rid
+            stack.append(_NodeTask(lid, left_idx, task.depth + 1))
+            stack.append(_NodeTask(rid, right_idx, task.depth + 1))
+
+        self._feature = np.asarray(features, dtype=np.intp)
+        self._threshold = np.asarray(thresholds, dtype=np.float64)
+        self._left = np.asarray(lefts, dtype=np.intp)
+        self._right = np.asarray(rights, dtype=np.intp)
+        self._value = np.asarray(values, dtype=np.float64)
+        self.n_features_ = d
+        self.n_outputs_ = k
+        return self
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes (internal + leaves)."""
+        return int(self._feature.size)
+
+    @property
+    def max_reached_depth(self) -> int:
+        """Depth actually reached by the fitted tree."""
+        depth = np.zeros(self.node_count, dtype=np.intp)
+        for nid in range(self.node_count):
+            if self._left[nid] >= 0:
+                depth[self._left[nid]] = depth[nid] + 1
+                depth[self._right[nid]] = depth[nid] + 1
+        return int(depth.max()) if self.node_count else 0
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        # Vectorized traversal: advance all rows one level per iteration.
+        node = np.zeros(X.shape[0], dtype=np.intp)
+        active = self._feature[node] >= 0
+        while np.any(active):
+            rows = np.nonzero(active)[0]
+            nid = node[rows]
+            go_left = X[rows, self._feature[nid]] <= self._threshold[nid]
+            node[rows] = np.where(go_left, self._left[nid], self._right[nid])
+            active[rows] = self._feature[node[rows]] >= 0
+        return self._value[node]

@@ -1,0 +1,12 @@
+"""Parallel execution harness: deterministic seeding + process-pool map."""
+
+from .pool import default_workers, parallel_map
+from .seeding import seed_for, spawn_generators, stable_hash
+
+__all__ = [
+    "default_workers",
+    "parallel_map",
+    "seed_for",
+    "spawn_generators",
+    "stable_hash",
+]

@@ -1,0 +1,86 @@
+"""Chunked process-pool map for embarrassingly parallel sweeps.
+
+Simulated measurement campaigns (60 benchmarks x 2 systems x 1000 runs)
+and cross-validation sweeps are embarrassingly parallel.  ``parallel_map``
+wraps ``concurrent.futures.ProcessPoolExecutor`` with the ergonomics this
+library needs:
+
+* order-preserving results;
+* chunking, so tiny tasks do not drown in IPC overhead;
+* graceful serial fallback (``n_workers=1`` or un-picklable callables run
+  inline — important under pytest where workers can be restricted);
+* deterministic behaviour: parallelism never changes results because all
+  randomness flows through per-task seeds (:mod:`repro.parallel.seeding`).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from .._validation import check_positive_int
+
+__all__ = ["parallel_map", "default_workers"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_WORKERS`` env var or CPU count (capped at 16)."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, min(os.cpu_count() or 1, 16))
+
+
+def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> list[R]:
+    return [fn(item) for item in chunk]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    n_workers: int | None = None,
+    chunk_size: int | None = None,
+) -> list[R]:
+    """Apply *fn* to every item, preserving order.
+
+    Parameters
+    ----------
+    fn:
+        A picklable callable (top-level function or functools.partial of
+        one).  Closures fall back to serial execution.
+    items:
+        Work items (materialized internally).
+    n_workers:
+        Process count; ``None`` = :func:`default_workers`, ``1`` = serial.
+    chunk_size:
+        Items per task; ``None`` picks ``ceil(n / (4 * workers))``.
+    """
+    work = list(items)
+    if not work:
+        return []
+    workers = default_workers() if n_workers is None else check_positive_int(n_workers, name="n_workers")
+    workers = min(workers, len(work))
+    if workers == 1:
+        return [fn(item) for item in work]
+    if chunk_size is None:
+        chunk_size = max(1, -(-len(work) // (4 * workers)))
+    chunks = [work[i : i + chunk_size] for i in range(0, len(work), chunk_size)]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+            results: list[R] = []
+            for fut in futures:
+                results.extend(fut.result())
+            return results
+    except (OSError, RuntimeError, ImportError, AttributeError, TypeError):
+        # Pool creation or pickling failed (sandboxed env, closure fn):
+        # fall back to the serial path, which is always correct.
+        return [fn(item) for item in work]

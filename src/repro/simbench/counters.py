@@ -1,0 +1,210 @@
+"""The perf-counter model: latents + per-run states -> metric totals.
+
+Simulated replacement for ``perf stat``.  Each metric in the system's
+catalog (Tables II/III) gets:
+
+* a **semantic anchor** — the latent trait that dominates it, assigned by
+  keyword rules (``*tlb*`` -> working-set size, ``node-*``/``*remote*`` ->
+  NUMA sensitivity, ``branch-misses`` -> branch entropy, ...), so similar
+  applications produce similar profiles — the learnability premise;
+* **secondary loadings** over all traits, drawn deterministically per
+  (system, metric), so the two systems' profiles are related but not
+  identical — what use case 2 must learn to translate;
+* **per-run mode couplings** — a run that landed on the remote NUMA node
+  shows elevated remote-access counters, a run that lost turbo shows fewer
+  cycles per second, a daemon-hit run shows more context switches.  This
+  makes a handful of profiled runs informative about the *distribution*,
+  which is exactly the signal use case 1 extracts;
+* multiplicative lognormal measurement noise.
+
+Counter totals scale with runtime; the pipelines normalize back to
+per-second rates (paper Section III-B1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from .._validation import check_random_state
+from ..parallel.seeding import seed_for
+from .latent import TRAIT_NAMES, AppCharacteristics
+from .systems import SystemModel
+from .variability import RunDraws
+
+__all__ = ["CounterModel", "anchor_trait", "COUNTER_SEED"]
+
+COUNTER_SEED = 313131
+
+#: Keyword -> (anchor trait, base log10 rate, mode-coupling class, basis).
+#: First match wins; order encodes specificity.
+#:
+#: ``basis`` is the crucial physical distinction:
+#:
+#: * ``"work"`` — the metric counts program *work* (instructions,
+#:   branches, memory accesses): its **total** is a property of the
+#:   binary and essentially constant across runs, so its per-second rate
+#:   is inversely proportional to the run's time.  A few profiled runs
+#:   therefore expose the runtime spread directly — the reason use case 1
+#:   can predict distribution width from a 10-run probe.
+#: * ``"time"`` — the metric accrues with wall time (cycles, task-clock,
+#:   stall cycles): its rate is roughly constant and its total scales
+#:   with the runtime.
+_RULES: tuple[tuple[str, str, float, str, str], ...] = (
+    ("node-", "numa_sensitivity", 6.0, "numa", "work"),
+    ("remote", "numa_sensitivity", 5.5, "numa", "work"),
+    ("ccx", "numa_sensitivity", 6.0, "numa", "work"),
+    ("numa", "numa_sensitivity", 6.0, "numa", "work"),
+    ("tlb", "working_set", 5.5, "cache", "work"),
+    ("branch-miss", "branch_entropy", 7.0, "none", "work"),
+    ("br_misp", "branch_entropy", 7.0, "none", "work"),
+    ("branch", "branch_entropy", 8.5, "none", "work"),
+    ("bp_", "branch_entropy", 7.5, "none", "work"),
+    ("stall", "memory_boundedness", 8.0, "freq", "time"),
+    ("cache-miss", "memory_boundedness", 6.5, "cache", "work"),
+    ("llc", "memory_boundedness", 6.5, "cache", "work"),
+    ("l3_", "memory_boundedness", 6.5, "cache", "work"),
+    ("longest_lat", "memory_boundedness", 6.5, "cache", "work"),
+    ("l2_", "working_set", 7.0, "cache", "work"),
+    ("l1", "compute_intensity", 8.5, "cache", "work"),
+    ("cache", "memory_boundedness", 7.0, "cache", "work"),
+    ("mem_inst", "memory_boundedness", 8.5, "none", "work"),
+    ("mem-", "memory_boundedness", 8.0, "cache", "work"),
+    ("ls_", "memory_boundedness", 7.0, "cache", "work"),
+    ("switch", "sync_intensity", 3.0, "os", "time"),
+    ("migration", "sync_intensity", 1.5, "os", "time"),
+    ("fault", "sync_intensity", 3.5, "os", "work"),
+    ("fp", "vector_intensity", 7.5, "none", "work"),
+    ("sse_avx", "vector_intensity", 7.5, "none", "work"),
+    ("fpu", "vector_intensity", 7.5, "none", "work"),
+    ("uops", "compute_intensity", 9.0, "freq", "work"),
+    ("ops", "compute_intensity", 9.0, "freq", "work"),
+    ("slots", "compute_intensity", 9.3, "freq", "time"),
+    ("instructions", "compute_intensity", 9.2, "freq", "work"),
+    ("inst_retired", "compute_intensity", 9.2, "freq", "work"),
+    ("cycles", "compute_intensity", 9.0, "freq", "time"),
+    ("cpu_clk", "compute_intensity", 9.0, "freq", "time"),
+    ("clock", "parallel_fraction", 9.0, "none", "time"),
+    ("ic_", "compute_intensity", 7.5, "cache", "work"),
+    ("itlb", "working_set", 5.0, "cache", "work"),
+    ("io_", "io_intensity", 4.5, "os", "time"),
+    ("bpf", "io_intensity", 1.0, "os", "time"),
+    ("duration", "parallel_fraction", 0.0, "none", "time"),
+)
+
+_DEFAULT_RULE = ("compute_intensity", 6.5, "none", "work")
+
+_TRAIT_INDEX = {name: i for i, name in enumerate(TRAIT_NAMES)}
+
+
+def anchor_trait(metric: str) -> tuple[str, float, str, str]:
+    """(anchor trait, base log10 rate, coupling class, basis) for a metric."""
+    low = metric.lower()
+    for key, trait, base, coupling, basis in _RULES:
+        if key in low:
+            return trait, base, coupling, basis
+    return _DEFAULT_RULE
+
+
+@dataclass(frozen=True)
+class CounterModel:
+    """Frozen counter-generation model for one system."""
+
+    system: SystemModel
+    metric_names: tuple[str, ...]
+    base_log_rate: np.ndarray  # (m,) natural-log base rates
+    loadings: np.ndarray  # (m, n_traits) trait loadings
+    noise_sigma: np.ndarray  # (m,) lognormal measurement noise
+    coupling_class: tuple[str, ...]  # per-metric mode-coupling class
+    is_work_basis: np.ndarray  # (m,) True when the metric's total is fixed
+
+    _ANCHOR_WEIGHT = 2.2
+    _SECONDARY_SIGMA = 0.35
+
+    @classmethod
+    @lru_cache(maxsize=8)
+    def for_system(cls, system: SystemModel) -> "CounterModel":
+        """Build (and cache) the deterministic model for *system*."""
+        names = system.metric_names
+        m = len(names)
+        n_traits = len(TRAIT_NAMES)
+        base = np.empty(m)
+        loadings = np.zeros((m, n_traits))
+        sigma = np.empty(m)
+        classes = []
+        work_basis = np.zeros(m, dtype=bool)
+        for i, metric in enumerate(names):
+            trait, b10, coupling, basis = anchor_trait(metric)
+            rng = np.random.default_rng(
+                seed_for(COUNTER_SEED, "counter", system.name, metric)
+            )
+            base[i] = b10 * np.log(10.0) + rng.normal(0.0, 0.2)
+            loadings[i] = rng.normal(0.0, cls._SECONDARY_SIGMA, size=n_traits)
+            loadings[i, _TRAIT_INDEX[trait]] += cls._ANCHOR_WEIGHT
+            sigma[i] = float(rng.uniform(0.03, 0.10))
+            classes.append(coupling)
+            work_basis[i] = basis == "work"
+        return cls(
+            system=system,
+            metric_names=names,
+            base_log_rate=base,
+            loadings=loadings,
+            noise_sigma=sigma,
+            coupling_class=tuple(classes),
+            is_work_basis=work_basis,
+        )
+
+    def expected_log_rates(self, app: AppCharacteristics) -> np.ndarray:
+        """Mean log per-second rate of every metric for *app*."""
+        z = app.traits - 0.5  # centered traits
+        return self.base_log_rate + self.loadings @ z
+
+    def _mode_factors(self, draws: RunDraws) -> dict[str, np.ndarray]:
+        """Per-run multiplicative factors for each coupling class."""
+        sysm = self.system
+        return {
+            "none": np.ones(draws.n_runs),
+            # Remote runs light up NUMA counters strongly.
+            "numa": 1.0 + 3.0 * draws.numa_state,
+            # Losing turbo lowers per-second cycle-family rates.
+            "freq": 1.0 - 0.6 * sysm.freq_mode_spread * draws.freq_state,
+            # Cold caches and allocator churn raise cache-family rates.
+            "cache": (1.0 + 8.0 * draws.warmup) * (1.0 + 0.15 * draws.alloc_state),
+            # Jitter and daemons mean more OS events.
+            "os": 1.0 + 25.0 * draws.jitter + 6.0 * draws.daemon,
+        }
+
+    def sample_counters(
+        self, app: AppCharacteristics, draws: RunDraws, rng=None
+    ) -> np.ndarray:
+        """Counter **totals** for every run; shape (n_runs, n_metrics).
+
+        Work-basis metrics get per-run totals of ``expected rate x nominal
+        runtime`` (the binary's work, independent of how slow this run
+        happened to be); time-basis metrics accrue at their expected rate
+        for the run's actual duration.  Mode couplings and measurement
+        noise multiply both.
+        """
+        gen = check_random_state(rng)
+        n = draws.n_runs
+        m = len(self.metric_names)
+        log_rates = self.expected_log_rates(app)  # (m,)
+        factors = self._mode_factors(draws)
+        factor_matrix = np.empty((n, m))
+        for j, cls_name in enumerate(self.coupling_class):
+            factor_matrix[:, j] = factors[cls_name]
+        noise = np.exp(gen.normal(0.0, self.noise_sigma, size=(n, m)))
+        nominal_runtime = float(draws.runtimes.mean())
+        time_scale = np.where(
+            self.is_work_basis[None, :],
+            nominal_runtime,
+            draws.runtimes[:, None],
+        )
+        totals = np.exp(log_rates)[None, :] * factor_matrix * noise * time_scale
+        # duration_time is defined as the wall time itself.
+        for j, name in enumerate(self.metric_names):
+            if name == "duration_time":
+                totals[:, j] = draws.runtimes
+        return totals

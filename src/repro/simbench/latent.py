@@ -1,0 +1,114 @@
+"""Latent application characteristics.
+
+The substitution core of this reproduction (see DESIGN.md): instead of
+running SPEC/NPB/PARSEC binaries on real hardware, every benchmark is
+described by a **latent trait vector** capturing the properties that drive
+both its perf-counter profile *and* its performance variability.  The
+counter model and the runtime-variability model read the *same* latents,
+which is precisely the statistical structure that makes the paper's
+prediction problem learnable: applications with similar profiles have
+similar distributions.
+
+Traits live in ``[0, 1]``:
+
+===================  ========================================================
+trait                 meaning
+===================  ========================================================
+compute_intensity    arithmetic work per byte moved
+memory_boundedness   sensitivity to memory latency/bandwidth
+working_set          working-set size relative to the last-level cache
+branch_entropy       unpredictability of branches
+parallel_fraction    fraction of work that scales across cores
+sync_intensity       synchronization / OS interaction frequency
+numa_sensitivity     penalty when memory lands on the remote socket
+freq_sensitivity     benefit from turbo frequency residency
+cache_sensitivity    penalty from cold/contended caches
+alloc_variability    allocator/GC-driven run-to-run variation (JVM-style)
+io_intensity         file/network I/O share
+vector_intensity     SIMD (SSE/AVX) usage
+===================  ========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["TRAIT_NAMES", "AppCharacteristics"]
+
+TRAIT_NAMES: tuple[str, ...] = (
+    "compute_intensity",
+    "memory_boundedness",
+    "working_set",
+    "branch_entropy",
+    "parallel_fraction",
+    "sync_intensity",
+    "numa_sensitivity",
+    "freq_sensitivity",
+    "cache_sensitivity",
+    "alloc_variability",
+    "io_intensity",
+    "vector_intensity",
+)
+
+_N_TRAITS = len(TRAIT_NAMES)
+_TRAIT_INDEX = {name: i for i, name in enumerate(TRAIT_NAMES)}
+
+
+@dataclass(frozen=True)
+class AppCharacteristics:
+    """Latent description of one application.
+
+    Attributes
+    ----------
+    name:
+        Fully-qualified benchmark name (``"suite/bench"``).
+    traits:
+        Length-12 vector in [0, 1] (see module docstring).
+    base_runtime:
+        Nominal single-run wall time in seconds on a reference machine.
+    """
+
+    name: str
+    traits: np.ndarray
+    base_runtime: float
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.traits, dtype=np.float64)
+        if t.shape != (_N_TRAITS,):
+            raise ValidationError(
+                f"traits must have shape ({_N_TRAITS},), got {t.shape}"
+            )
+        if np.any((t < 0.0) | (t > 1.0)):
+            raise ValidationError(f"traits must lie in [0, 1]: {t}")
+        if self.base_runtime <= 0.0:
+            raise ValidationError("base_runtime must be positive")
+        object.__setattr__(self, "traits", t)
+
+    def trait(self, name: str) -> float:
+        """Trait value by name."""
+        try:
+            return float(self.traits[_TRAIT_INDEX[name]])
+        except KeyError:
+            raise ValidationError(
+                f"unknown trait {name!r}; valid traits: {TRAIT_NAMES}"
+            ) from None
+
+    def as_dict(self) -> dict[str, float]:
+        """Traits as a name->value mapping."""
+        return {n: float(v) for n, v in zip(TRAIT_NAMES, self.traits)}
+
+    @classmethod
+    def from_dict(
+        cls, name: str, values: dict[str, float], base_runtime: float
+    ) -> "AppCharacteristics":
+        """Build from a (possibly partial) trait mapping; missing = 0.5."""
+        t = np.full(_N_TRAITS, 0.5)
+        for key, val in values.items():
+            if key not in _TRAIT_INDEX:
+                raise ValidationError(f"unknown trait {key!r}")
+            t[_TRAIT_INDEX[key]] = val
+        return cls(name=name, traits=np.clip(t, 0.0, 1.0), base_runtime=base_runtime)

@@ -1,0 +1,156 @@
+"""The simulated ``perf stat`` runner.
+
+Ties the substrate together: given a benchmark and a system, "execute" it
+``n_runs`` times and return a :class:`~repro.data.dataset.RunCampaign`
+(runtimes + counter totals), exactly what profiling a real binary under
+``perf stat -r N`` would yield.  Campaigns are deterministic in
+``(benchmark, system, root seed, n_runs)`` and independent of execution
+order, so sweeps can fan out across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..data.dataset import CampaignStore, RunCampaign
+from ..parallel.pool import parallel_map
+from ..parallel.seeding import seed_for
+from .counters import CounterModel
+from .latent import AppCharacteristics
+from .suites import benchmark_names, get_benchmark
+from .systems import SystemModel, get_system
+from .variability import RuntimeLaw
+
+__all__ = ["SimulatedPerfRunner", "run_campaign", "measure_all"]
+
+_DEFAULT_ROOT_SEED = 777
+
+
+def run_campaign(
+    benchmark: str | AppCharacteristics,
+    system: str | SystemModel,
+    n_runs: int = 1000,
+    *,
+    root_seed: int = _DEFAULT_ROOT_SEED,
+) -> RunCampaign:
+    """Simulate *n_runs* profiled executions of one benchmark on one system.
+
+    Deterministic: the RNG stream is keyed by (root_seed, benchmark,
+    system, n_runs) so repeated calls agree bit-for-bit.
+    """
+    app = get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
+    sysm = get_system(system) if isinstance(system, str) else system
+    n = check_positive_int(n_runs, name="n_runs")
+
+    law = RuntimeLaw.for_pair(app, sysm)
+    model = CounterModel.for_system(sysm)
+    rng = np.random.default_rng(
+        seed_for(root_seed, "campaign", app.name, sysm.name, str(n))
+    )
+    draws = law.sample(n, rng)
+    counters = model.sample_counters(app, draws, rng)
+    return RunCampaign(
+        benchmark=app.name,
+        system=sysm.name,
+        runtimes=draws.runtimes,
+        counters=counters,
+        metric_names=model.metric_names,
+    )
+
+
+def _run_one(task: tuple[str, str, int, int]) -> RunCampaign:
+    bench, system, n_runs, root_seed = task
+    return run_campaign(bench, system, n_runs, root_seed=root_seed)
+
+
+def measure_all(
+    system: str | SystemModel,
+    *,
+    benchmarks: tuple[str, ...] | None = None,
+    n_runs: int = 1000,
+    root_seed: int = _DEFAULT_ROOT_SEED,
+    n_workers: int | None = None,
+) -> dict[str, RunCampaign]:
+    """Measure every benchmark (or a subset) on *system*, in parallel.
+
+    Returns a name -> campaign mapping; deterministic regardless of the
+    worker count.
+    """
+    sys_name = system if isinstance(system, str) else system.name
+    names = benchmarks if benchmarks is not None else benchmark_names()
+    tasks = [(b, sys_name, n_runs, root_seed) for b in names]
+    results = parallel_map(_run_one, tasks, n_workers=n_workers)
+    return {c.benchmark: c for c in results}
+
+
+@dataclass
+class SimulatedPerfRunner:
+    """Stateful runner with optional on-disk campaign caching.
+
+    Parameters
+    ----------
+    root_seed:
+        Seed fixing all campaigns this runner produces.
+    store:
+        Optional :class:`~repro.data.dataset.CampaignStore`; when set,
+        campaigns are loaded from / saved to disk transparently.
+    """
+
+    root_seed: int = _DEFAULT_ROOT_SEED
+    store: CampaignStore | None = None
+
+    def run(
+        self, benchmark: str, system: str, n_runs: int = 1000
+    ) -> RunCampaign:
+        """One campaign, cached when a store is attached."""
+        if self.store is not None and self.store.has(benchmark, system):
+            cached = self.store.load(benchmark, system)
+            if cached.n_runs >= n_runs:
+                return cached.subset(np.arange(n_runs))
+        campaign = run_campaign(benchmark, system, n_runs, root_seed=self.root_seed)
+        if self.store is not None:
+            self.store.save(campaign)
+        return campaign
+
+    def run_suite(
+        self,
+        system: str,
+        *,
+        benchmarks: tuple[str, ...] | None = None,
+        n_runs: int = 1000,
+        n_workers: int | None = None,
+    ) -> dict[str, RunCampaign]:
+        """All (or selected) benchmarks on one system."""
+        names = benchmarks if benchmarks is not None else benchmark_names()
+        if self.store is not None:
+            out: dict[str, RunCampaign] = {}
+            missing = []
+            for b in names:
+                if self.store.has(b, system):
+                    cached = self.store.load(b, system)
+                    if cached.n_runs >= n_runs:
+                        out[b] = cached.subset(np.arange(n_runs))
+                        continue
+                missing.append(b)
+            fresh = measure_all(
+                system,
+                benchmarks=tuple(missing),
+                n_runs=n_runs,
+                root_seed=self.root_seed,
+                n_workers=n_workers,
+            ) if missing else {}
+            for c in fresh.values():
+                self.store.save(c)
+            out.update(fresh)
+            return {b: out[b] for b in names}
+        return measure_all(
+            system,
+            benchmarks=tuple(names),
+            n_runs=n_runs,
+            root_seed=self.root_seed,
+            n_workers=n_workers,
+        )

@@ -1,0 +1,261 @@
+"""The benchmark roster — Table I of the paper.
+
+Seven suites, 60 benchmarks.  Each benchmark gets a deterministic latent
+trait vector drawn from a suite-level prior (NPB kernels are compute/memory
+scientific kernels; PARSEC is diverse multithreaded; MLlib runs on a JVM
+with allocator/GC variability; ...) plus per-benchmark jitter keyed by a
+stable hash of its name — the roster is identical in every process and
+every session.
+
+A small set of hand-tuned overrides pins the benchmarks the paper singles
+out in its figures to the qualitative shapes it describes (e.g. SPEC OMP
+376 is wide and bimodal with the faster mode larger — Fig. 1; heartwall is
+very narrow — Fig. 5; streamcluster has a long right tail — Fig. 5).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..errors import UnknownBenchmarkError
+from ..parallel.seeding import seed_for, stable_hash
+from .latent import TRAIT_NAMES, AppCharacteristics
+
+__all__ = [
+    "SUITES",
+    "benchmark_names",
+    "benchmark_roster",
+    "get_benchmark",
+    "suite_of",
+]
+
+#: Table I — benchmark names per suite.
+SUITES: dict[str, tuple[str, ...]] = {
+    "npb": ("bt", "cg", "ep", "ft", "is", "lu", "mg", "sp", "ua"),
+    "parsec": (
+        "blackscholes",
+        "bodytrack",
+        "canneal",
+        "dedup",
+        "fluidanimate",
+        "freqmine",
+        "netdedup",
+        "streamcluster",
+        "swaptions",
+    ),
+    "spec_omp": ("358", "362", "367", "372", "376"),
+    "spec_accel": ("303", "304", "353", "354", "355", "356", "359", "363"),
+    "parboil": ("bfs", "cutcp", "histo", "lbm", "mrigridding", "sgemm", "spmv", "stencil"),
+    "rodinia": (
+        "backprop",
+        "bfs",
+        "heartwall",
+        "hotspot",
+        "kmeans",
+        "lavaMD",
+        "leukocyte",
+        "ludomp",
+        "particle_filter",
+        "pathfinder",
+    ),
+    "mllib": (
+        "correlation",
+        "dtclassifier",
+        "fmclassifier",
+        "gbtclassifier",
+        "kmeans",
+        "logisticregression",
+        "lsvc",
+        "mlp",
+        "pca",
+        "randomforestclassifier",
+        "summarizer",
+    ),
+}
+
+#: Suite-level trait priors (means; unlisted traits default to 0.35).
+_SUITE_PRIORS: dict[str, dict[str, float]] = {
+    "npb": {
+        "compute_intensity": 0.75,
+        "memory_boundedness": 0.55,
+        "working_set": 0.5,
+        "parallel_fraction": 0.8,
+        "vector_intensity": 0.6,
+        "freq_sensitivity": 0.5,
+        "branch_entropy": 0.25,
+    },
+    "parsec": {
+        "compute_intensity": 0.5,
+        "memory_boundedness": 0.5,
+        "branch_entropy": 0.55,
+        "parallel_fraction": 0.7,
+        "sync_intensity": 0.55,
+        "alloc_variability": 0.4,
+        "working_set": 0.45,
+    },
+    "spec_omp": {
+        "compute_intensity": 0.7,
+        "memory_boundedness": 0.6,
+        "parallel_fraction": 0.85,
+        "freq_sensitivity": 0.6,
+        "numa_sensitivity": 0.55,
+        "working_set": 0.6,
+    },
+    "spec_accel": {
+        "compute_intensity": 0.8,
+        "vector_intensity": 0.75,
+        "parallel_fraction": 0.9,
+        "memory_boundedness": 0.45,
+        "freq_sensitivity": 0.55,
+        "branch_entropy": 0.2,
+    },
+    "parboil": {
+        "compute_intensity": 0.7,
+        "vector_intensity": 0.65,
+        "memory_boundedness": 0.5,
+        "parallel_fraction": 0.85,
+        "working_set": 0.45,
+        "branch_entropy": 0.3,
+    },
+    "rodinia": {
+        "compute_intensity": 0.65,
+        "memory_boundedness": 0.5,
+        "parallel_fraction": 0.8,
+        "working_set": 0.4,
+        "branch_entropy": 0.35,
+    },
+    "mllib": {
+        "compute_intensity": 0.45,
+        "memory_boundedness": 0.55,
+        "alloc_variability": 0.75,
+        "sync_intensity": 0.6,
+        "io_intensity": 0.5,
+        "branch_entropy": 0.6,
+        "parallel_fraction": 0.6,
+        "working_set": 0.6,
+    },
+}
+
+#: Nominal single-run seconds per suite (lognormal medians).
+_SUITE_RUNTIME: dict[str, float] = {
+    "npb": 40.0,
+    "parsec": 25.0,
+    "spec_omp": 120.0,
+    "spec_accel": 60.0,
+    "parboil": 15.0,
+    "rodinia": 10.0,
+    "mllib": 45.0,
+}
+
+#: Hand-tuned overrides pinning paper-highlighted benchmarks to the shapes
+#: described in Figs. 1, 5, and 9 (see module docstring).
+_BENCH_OVERRIDES: dict[str, dict[str, float]] = {
+    # Fig. 1 / Fig. 5: wide, clearly bimodal, larger mode faster.
+    "spec_omp/376": {
+        "numa_sensitivity": 0.9,
+        "freq_sensitivity": 0.12,
+        "memory_boundedness": 0.8,
+        "sync_intensity": 0.5,
+        "working_set": 0.85,
+    },
+    # Fig. 5 narrow group (low sensitivity to every nondeterminism source).
+    "spec_accel/359": {"numa_sensitivity": 0.1, "sync_intensity": 0.1, "alloc_variability": 0.05, "freq_sensitivity": 0.12, "io_intensity": 0.1, "cache_sensitivity": 0.15},
+    "spec_accel/304": {"numa_sensitivity": 0.35, "sync_intensity": 0.12, "alloc_variability": 0.05, "freq_sensitivity": 0.1, "io_intensity": 0.1, "cache_sensitivity": 0.15},
+    "npb/bt": {"numa_sensitivity": 0.3, "sync_intensity": 0.12, "freq_sensitivity": 0.15, "alloc_variability": 0.05, "io_intensity": 0.1, "cache_sensitivity": 0.15},
+    "rodinia/heartwall": {"numa_sensitivity": 0.05, "sync_intensity": 0.08, "freq_sensitivity": 0.08, "alloc_variability": 0.03, "io_intensity": 0.05, "cache_sensitivity": 0.1},
+    # Fig. 5 moderate group.
+    "mllib/dtclassifier": {"alloc_variability": 0.55, "sync_intensity": 0.45},
+    "rodinia/ludomp": {"sync_intensity": 0.45, "freq_sensitivity": 0.4},
+    # Fig. 5 wide group.
+    "spec_accel/303": {
+        "numa_sensitivity": 0.85,
+        "memory_boundedness": 0.85,
+        "freq_sensitivity": 0.75,
+        "working_set": 0.9,
+    },
+    "parboil/mrigridding": {
+        "numa_sensitivity": 0.8,
+        "freq_sensitivity": 0.7,
+        "working_set": 0.8,
+        "sync_intensity": 0.55,
+    },
+    # Fig. 5: skewed with a long tail.
+    "parsec/streamcluster": {
+        "sync_intensity": 0.85,
+        "alloc_variability": 0.6,
+        "io_intensity": 0.6,
+        "numa_sensitivity": 0.2,
+    },
+    # Fig. 9 narrow group.
+    "npb/is": {"numa_sensitivity": 0.12, "sync_intensity": 0.15, "freq_sensitivity": 0.15, "alloc_variability": 0.05, "io_intensity": 0.1, "cache_sensitivity": 0.15},
+    "parboil/spmv": {"numa_sensitivity": 0.1, "sync_intensity": 0.1, "freq_sensitivity": 0.12, "alloc_variability": 0.05, "io_intensity": 0.1, "cache_sensitivity": 0.15},
+    # Fig. 9 moderate group.
+    "parboil/bfs": {"numa_sensitivity": 0.5, "branch_entropy": 0.6, "freq_sensitivity": 0.45},
+    "mllib/gbtclassifier": {"alloc_variability": 0.6, "sync_intensity": 0.5},
+    "parboil/sgemm": {"numa_sensitivity": 0.55, "freq_sensitivity": 0.5, "memory_boundedness": 0.6},
+    # Fig. 9 wide group.
+    "parsec/bodytrack": {"numa_sensitivity": 0.7, "freq_sensitivity": 0.65, "sync_intensity": 0.6, "working_set": 0.7},
+    "parsec/canneal": {
+        "numa_sensitivity": 0.85,
+        "memory_boundedness": 0.85,
+        "working_set": 0.9,
+        "freq_sensitivity": 0.6,
+    },
+    "mllib/correlation": {"alloc_variability": 0.85, "numa_sensitivity": 0.6, "sync_intensity": 0.7, "working_set": 0.7},
+    "parboil/histo": {"numa_sensitivity": 0.75, "freq_sensitivity": 0.7, "branch_entropy": 0.55, "working_set": 0.7},
+}
+
+_TRAIT_SIGMA = 0.13  # per-benchmark jitter around the suite prior
+_DEFAULT_TRAIT = 0.35
+_ROSTER_SEED = 20250705  # roster identity; changing it changes every latent
+
+
+def suite_of(full_name: str) -> str:
+    """Suite part of a fully-qualified benchmark name."""
+    if "/" not in full_name:
+        raise UnknownBenchmarkError(f"expected 'suite/bench', got {full_name!r}")
+    suite = full_name.split("/", 1)[0]
+    if suite not in SUITES:
+        raise UnknownBenchmarkError(f"unknown suite {suite!r}")
+    return suite
+
+
+def benchmark_names() -> tuple[str, ...]:
+    """All 60 fully-qualified benchmark names, suite-ordered."""
+    return tuple(f"{suite}/{b}" for suite, benches in SUITES.items() for b in benches)
+
+
+def _build_benchmark(full_name: str) -> AppCharacteristics:
+    suite, bench = full_name.split("/", 1)
+    prior = _SUITE_PRIORS[suite]
+    rng = np.random.default_rng(seed_for(_ROSTER_SEED, "roster", full_name))
+    traits = np.full(len(TRAIT_NAMES), _DEFAULT_TRAIT)
+    for i, tname in enumerate(TRAIT_NAMES):
+        mean = prior.get(tname, _DEFAULT_TRAIT)
+        traits[i] = np.clip(rng.normal(mean, _TRAIT_SIGMA), 0.02, 0.98)
+    overrides = _BENCH_OVERRIDES.get(full_name, {})
+    for tname, val in overrides.items():
+        traits[TRAIT_NAMES.index(tname)] = val
+    # Base runtime: lognormal around the suite median, benchmark-stable.
+    runtime = float(
+        _SUITE_RUNTIME[suite] * np.exp(rng.normal(0.0, 0.6))
+    )
+    return AppCharacteristics(name=full_name, traits=traits, base_runtime=runtime)
+
+
+@lru_cache(maxsize=1)
+def benchmark_roster() -> tuple[AppCharacteristics, ...]:
+    """The full deterministic 60-benchmark roster."""
+    return tuple(_build_benchmark(n) for n in benchmark_names())
+
+
+def get_benchmark(full_name: str) -> AppCharacteristics:
+    """Look up one benchmark by fully-qualified name."""
+    for app in benchmark_roster():
+        if app.name == full_name:
+            return app
+    raise UnknownBenchmarkError(
+        f"unknown benchmark {full_name!r}; see repro.simbench.benchmark_names()"
+    )

@@ -1,0 +1,144 @@
+"""System models — the two evaluation machines (Section IV-C).
+
+The paper's systems are dual-socket 32-core/socket servers: an Intel Xeon
+Platinum 8358 and an AMD EPYC 7543, 512 GB DDR4 each, running benchmarks
+on a whole node with no external interference.  A :class:`SystemModel`
+captures the *sources of run-to-run nondeterminism* those machines exhibit
+(the related-work taxonomy, Section II): frequency-state residency, NUMA
+page placement, OS scheduler jitter, cache warm-up, and rare background
+daemon activity — each with system-specific magnitudes so the same
+application produces correlated-but-different distributions on the two
+machines (what use case 2 learns to map).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.catalogs import metric_catalog
+from ..errors import UnknownSystemError
+
+__all__ = ["SystemModel", "INTEL_SYSTEM", "AMD_SYSTEM", "get_system", "SYSTEMS"]
+
+
+@dataclass(frozen=True)
+class SystemModel:
+    """Parametric machine description used by the simulators.
+
+    Attributes
+    ----------
+    name / kind:
+        Identifier and vendor kind (selects the metric catalog).
+    n_sockets, cores_per_socket:
+        Topology (both paper systems: 2 x 32).
+    base_ghz, turbo_ghz:
+        Sustained and turbo clocks; their ratio bounds the frequency-mode
+        spread.
+    turbo_residency:
+        Probability that a run predominantly holds turbo (before the
+        application's own ``freq_sensitivity`` modulates the impact).
+    freq_mode_spread:
+        Max relative slowdown when turbo is lost, scaled by the app's
+        frequency sensitivity.
+    numa_remote_prob:
+        Probability the allocator lands hot pages on the remote socket.
+    numa_penalty:
+        Max relative slowdown of a remote-heavy run, scaled by the app's
+        NUMA sensitivity.
+    llc_mb:
+        Last-level cache per socket (MB); interacts with working-set size.
+    jitter_shape, jitter_scale:
+        Gamma-noise parameters for scheduler/OS jitter (relative units).
+    daemon_prob, daemon_magnitude:
+        Probability and mean relative size of rare background-activity
+        spikes (exponential tail).
+    alloc_mode_spread:
+        Relative separation of allocator/GC-induced modes (JVM workloads).
+    speed_factor, mem_factor:
+        Relative compute and memory speed vs. the reference machine —
+        shifts absolute runtimes per application mix.
+    """
+
+    name: str
+    kind: str
+    n_sockets: int = 2
+    cores_per_socket: int = 32
+    base_ghz: float = 2.6
+    turbo_ghz: float = 3.4
+    turbo_residency: float = 0.7
+    freq_mode_spread: float = 0.08
+    numa_remote_prob: float = 0.3
+    numa_penalty: float = 0.12
+    llc_mb: float = 48.0
+    jitter_shape: float = 2.0
+    jitter_scale: float = 0.0045
+    daemon_prob: float = 0.008
+    daemon_magnitude: float = 0.05
+    alloc_mode_spread: float = 0.05
+    speed_factor: float = 1.0
+    mem_factor: float = 1.0
+
+    @property
+    def total_cores(self) -> int:
+        """Cores across all sockets."""
+        return self.n_sockets * self.cores_per_socket
+
+    @property
+    def metric_names(self) -> tuple[str, ...]:
+        """Perf metric catalog for this system's vendor kind."""
+        return metric_catalog(self.kind)
+
+
+#: Intel Xeon Platinum 8358-like system (use case 1's machine).
+INTEL_SYSTEM = SystemModel(
+    name="intel",
+    kind="intel",
+    base_ghz=2.6,
+    turbo_ghz=3.4,
+    turbo_residency=0.65,
+    freq_mode_spread=0.08,
+    numa_remote_prob=0.30,
+    numa_penalty=0.115,
+    llc_mb=48.0,
+    jitter_shape=2.0,
+    jitter_scale=0.0055,
+    daemon_prob=0.008,
+    daemon_magnitude=0.05,
+    alloc_mode_spread=0.05,
+    speed_factor=1.0,
+    mem_factor=1.0,
+)
+
+#: AMD EPYC 7543-like system.  Slightly larger LLC (256 MB across CCDs),
+#: different turbo behaviour, and somewhat spikier scheduling noise — the
+#: paper observes that predicting *onto* AMD is marginally harder.
+AMD_SYSTEM = SystemModel(
+    name="amd",
+    kind="amd",
+    base_ghz=2.8,
+    turbo_ghz=3.7,
+    turbo_residency=0.55,
+    freq_mode_spread=0.12,
+    numa_remote_prob=0.35,
+    numa_penalty=0.14,
+    llc_mb=256.0,
+    jitter_shape=1.6,
+    jitter_scale=0.0045,
+    daemon_prob=0.010,
+    daemon_magnitude=0.06,
+    alloc_mode_spread=0.06,
+    speed_factor=1.05,
+    mem_factor=1.1,
+)
+
+SYSTEMS: dict[str, SystemModel] = {s.name: s for s in (INTEL_SYSTEM, AMD_SYSTEM)}
+
+
+def get_system(name: str) -> SystemModel:
+    """Look up a registered system by name."""
+    try:
+        return SYSTEMS[name]
+    except KeyError:
+        raise UnknownSystemError(
+            f"unknown system {name!r}; registered: {sorted(SYSTEMS)}"
+        ) from None

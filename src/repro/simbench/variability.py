@@ -1,0 +1,203 @@
+"""The runtime-variability generative law.
+
+For each (application, system) pair this module freezes a **runtime law**:
+a parametric mixture describing how the pair's run-to-run nondeterminism
+composes.  Sampling the law replaces executing the benchmark; each of the
+paper's nondeterminism sources (Section II) is an explicit, separately
+testable component:
+
+* **frequency modes** — a run either holds turbo or does not (Bernoulli),
+  scaling with the app's ``freq_sensitivity``: produces bimodality;
+* **NUMA placement modes** — hot pages land local or remote: a second
+  discrete factor, scaling with ``numa_sensitivity``;
+* **allocator/GC modes** — JVM-style workloads (high
+  ``alloc_variability``) gain a third discrete level;
+* **OS/scheduler jitter** — additive Gamma noise scaled by
+  ``sync_intensity`` and the system's jitter level;
+* **cache warm-up** — additive lognormal cost growing with the ratio of
+  working-set size to the system LLC;
+* **daemon interference** — rare exponential spikes: the long right tail.
+
+Discrete factors multiply; continuous factors add small relative costs.
+The law also reports *which* mode each run landed in, so the counter model
+can make per-run profiles co-vary with per-run slowdowns — without that
+coupling, use case 1 could not possibly work from a few runs, with it the
+simulation reproduces the paper's learnability premise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive_int, check_random_state
+from ..parallel.seeding import seed_for
+from .latent import AppCharacteristics
+from .systems import SystemModel
+
+__all__ = ["RuntimeLaw", "RunDraws", "LAW_SEED"]
+
+#: Root seed fixing the identity of every (app, system) law.
+LAW_SEED = 424242
+
+
+@dataclass(frozen=True)
+class RunDraws:
+    """Per-run outcomes of sampling a runtime law.
+
+    ``runtimes`` is what a stopwatch would report; the remaining arrays
+    are the latent per-run states the counter model consumes.
+    """
+
+    runtimes: np.ndarray
+    freq_state: np.ndarray  # 1.0 when the run lost turbo residency
+    numa_state: np.ndarray  # 1.0 when hot pages were remote
+    alloc_state: np.ndarray  # allocator mode index (0, 1, 2)
+    jitter: np.ndarray  # additive OS-jitter fraction
+    warmup: np.ndarray  # additive cache-warm-up fraction
+    daemon: np.ndarray  # additive daemon-spike fraction (mostly zero)
+
+    @property
+    def n_runs(self) -> int:
+        return int(self.runtimes.size)
+
+
+@dataclass(frozen=True)
+class RuntimeLaw:
+    """Frozen generative law for one (application, system) pair."""
+
+    app: AppCharacteristics
+    system: SystemModel
+    mean_runtime: float
+    p_freq_loss: float
+    freq_slowdown: float
+    p_numa_remote: float
+    numa_slowdown: float
+    n_alloc_modes: int
+    alloc_spread: float
+    jitter_shape: float
+    jitter_scale: float
+    warmup_mu: float
+    warmup_sigma: float
+    p_daemon: float
+    daemon_scale: float
+
+    @classmethod
+    def for_pair(cls, app: AppCharacteristics, system: SystemModel) -> "RuntimeLaw":
+        """Deterministically derive the law for (app, system).
+
+        A pair-keyed RNG adds mild idiosyncratic modulation on top of the
+        trait/system structure, standing in for microarchitectural details
+        the latents do not capture — this is what keeps cross-system
+        prediction non-trivial yet learnable.
+        """
+        rng = np.random.default_rng(seed_for(LAW_SEED, "law", app.name, system.name))
+        mod = lambda sigma=0.25: float(np.exp(rng.normal(0.0, sigma)))  # noqa: E731
+
+        t = app.trait
+        # Absolute speed: compute-heavy apps track speed_factor, memory-
+        # bound apps track mem_factor; mild pair-specific residual.
+        compute_share = t("compute_intensity") / (
+            t("compute_intensity") + t("memory_boundedness") + 1e-9
+        )
+        pair_speed = (
+            system.speed_factor**compute_share
+            * system.mem_factor ** (1.0 - compute_share)
+            * mod(0.08)
+        )
+        mean_runtime = app.base_runtime / pair_speed
+
+        # Mode *geometry* (how far apart the modes sit) carries a strong
+        # pair-idiosyncratic component (sigma 0.22): microarchitectural
+        # details the latent traits cannot capture.  This is what makes
+        # fine-grained (histogram-bin-level) structure harder to transfer
+        # between similar applications than coarse moments — the effect
+        # behind the paper's representation ranking.
+        p_freq_loss = float(
+            np.clip((1.0 - system.turbo_residency) * (0.4 + 1.2 * t("freq_sensitivity")) * mod(0.2), 0.12, 0.88)
+        )
+        freq_slowdown = system.freq_mode_spread * t("freq_sensitivity") * mod(0.22)
+        p_numa_remote = float(
+            np.clip(system.numa_remote_prob * (0.3 + 1.4 * t("numa_sensitivity")) * mod(0.2), 0.12, 0.88)
+        )
+        numa_slowdown = system.numa_penalty * t("numa_sensitivity") * mod(0.22)
+        n_alloc_modes = 1 + int(t("alloc_variability") > 0.45) + int(t("alloc_variability") > 0.7)
+        alloc_spread = system.alloc_mode_spread * t("alloc_variability") * mod()
+        jitter_scale = system.jitter_scale * (0.4 + 1.6 * t("sync_intensity")) * mod(0.2)
+        # Warm-up grows once the working set spills past the LLC share.
+        ws_pressure = max(0.0, t("working_set") - min(1.0, system.llc_mb / 256.0) * 0.5)
+        warmup_mu = np.log(1e-4 + 0.01 * t("cache_sensitivity") * (0.3 + ws_pressure))
+        p_daemon = float(
+            np.clip(system.daemon_prob * (0.5 + 1.5 * t("io_intensity") + t("sync_intensity")) * mod(0.2), 0.001, 0.2)
+        )
+        daemon_scale = system.daemon_magnitude * (0.5 + t("io_intensity")) * mod(0.3)
+
+        return cls(
+            app=app,
+            system=system,
+            mean_runtime=float(mean_runtime),
+            p_freq_loss=p_freq_loss,
+            freq_slowdown=float(freq_slowdown),
+            p_numa_remote=p_numa_remote,
+            numa_slowdown=float(numa_slowdown),
+            n_alloc_modes=n_alloc_modes,
+            alloc_spread=float(alloc_spread),
+            jitter_shape=float(system.jitter_shape),
+            jitter_scale=float(jitter_scale),
+            warmup_mu=float(warmup_mu),
+            warmup_sigma=0.5,
+            p_daemon=p_daemon,
+            daemon_scale=float(daemon_scale),
+        )
+
+    def sample(self, n_runs: int, rng=None) -> RunDraws:
+        """Draw *n_runs* simulated executions (fully vectorized)."""
+        n = check_positive_int(n_runs, name="n_runs")
+        gen = check_random_state(rng)
+
+        freq_state = (gen.random(n) < self.p_freq_loss).astype(np.float64)
+        numa_state = (gen.random(n) < self.p_numa_remote).astype(np.float64)
+        alloc_state = gen.integers(0, self.n_alloc_modes, size=n).astype(np.float64)
+        jitter = gen.gamma(self.jitter_shape, self.jitter_scale, size=n)
+        warmup = np.exp(gen.normal(self.warmup_mu, self.warmup_sigma, size=n))
+        daemon = np.where(
+            gen.random(n) < self.p_daemon,
+            gen.exponential(self.daemon_scale, size=n),
+            0.0,
+        )
+
+        rel = (
+            (1.0 + self.freq_slowdown * freq_state)
+            * (1.0 + self.numa_slowdown * numa_state)
+            * (1.0 + self.alloc_spread * alloc_state)
+            + jitter
+            + warmup
+            + daemon
+        )
+        runtimes = self.mean_runtime * rel
+        return RunDraws(
+            runtimes=runtimes,
+            freq_state=freq_state,
+            numa_state=numa_state,
+            alloc_state=alloc_state,
+            jitter=jitter,
+            warmup=warmup,
+            daemon=daemon,
+        )
+
+    def component_summary(self) -> dict[str, float]:
+        """Human-readable magnitudes of each nondeterminism source."""
+        return {
+            "mean_runtime_s": self.mean_runtime,
+            "p_freq_loss": self.p_freq_loss,
+            "freq_slowdown": self.freq_slowdown,
+            "p_numa_remote": self.p_numa_remote,
+            "numa_slowdown": self.numa_slowdown,
+            "n_alloc_modes": float(self.n_alloc_modes),
+            "alloc_spread": self.alloc_spread,
+            "jitter_mean": self.jitter_shape * self.jitter_scale,
+            "warmup_median": float(np.exp(self.warmup_mu)),
+            "p_daemon": self.p_daemon,
+            "daemon_scale": self.daemon_scale,
+        }

@@ -1,0 +1,73 @@
+"""Statistical substrate: moments, densities, tests, reconstructions.
+
+Everything the prediction pipelines need to treat performance as a
+*distribution* rather than a scalar:
+
+* :mod:`~repro.stats.moments` — four-moment summaries and feasibility;
+* :mod:`~repro.stats.empirical` — ECDF, quantiles, relative time;
+* :mod:`~repro.stats.histogram` — fixed-grid density histograms;
+* :mod:`~repro.stats.kde` — Gaussian kernel density estimation;
+* :mod:`~repro.stats.ks` — Kolmogorov–Smirnov statistics;
+* :mod:`~repro.stats.pearson` — the Pearson system (``pearsrnd``);
+* :mod:`~repro.stats.maxent` — maximum-entropy reconstruction (PyMaxEnt);
+* :mod:`~repro.stats.bootstrap` — bootstrap CIs and adaptive stopping.
+"""
+
+from .bootstrap import AdaptiveStoppingRule, StoppingDecision, bootstrap_ci, bootstrap_statistic
+from .empirical import ECDF, quantiles, relative_time, summary_quantiles, trim_outliers
+from .histogram import DensityHistogram, HistogramGrid
+from .kde import GaussianKDE, scott_bandwidth, silverman_bandwidth
+from .ks import KSResult, ks_2samp, ks_against_cdf, ks_against_grid_cdf, ks_statistic
+from .maxent import MaxEntDensity, maxent_from_moments
+from .modes import Mode, ModeAgreement, find_modes, mode_agreement
+from .moments import (
+    MomentVector,
+    central_moments,
+    check_feasible,
+    is_feasible,
+    moment_matrix,
+    moment_vector,
+    nearest_feasible,
+    standardized_moments,
+)
+from .pearson import PearsonDistribution, classify_pearson, pearson_system, pearsrnd
+
+__all__ = [
+    "AdaptiveStoppingRule",
+    "StoppingDecision",
+    "bootstrap_ci",
+    "bootstrap_statistic",
+    "ECDF",
+    "quantiles",
+    "relative_time",
+    "summary_quantiles",
+    "trim_outliers",
+    "DensityHistogram",
+    "HistogramGrid",
+    "GaussianKDE",
+    "scott_bandwidth",
+    "silverman_bandwidth",
+    "KSResult",
+    "ks_2samp",
+    "ks_against_cdf",
+    "ks_against_grid_cdf",
+    "ks_statistic",
+    "MaxEntDensity",
+    "maxent_from_moments",
+    "Mode",
+    "ModeAgreement",
+    "find_modes",
+    "mode_agreement",
+    "MomentVector",
+    "central_moments",
+    "check_feasible",
+    "is_feasible",
+    "moment_matrix",
+    "moment_vector",
+    "nearest_feasible",
+    "standardized_moments",
+    "PearsonDistribution",
+    "classify_pearson",
+    "pearson_system",
+    "pearsrnd",
+]

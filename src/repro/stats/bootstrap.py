@@ -1,0 +1,174 @@
+"""Bootstrap resampling and the adaptive stopping rule.
+
+Two supporting techniques from the paper's context:
+
+* nonparametric bootstrap confidence intervals for distribution statistics
+  (used when deciding how trustworthy a measured distribution is);
+* the **adaptive stopping rule** of Mittal et al. (paper reference [7]):
+  keep adding runs until a bootstrap-estimated confidence interval of the
+  statistic of interest is narrower than a target precision — the
+  "compromise between too many samples and too few" the introduction
+  motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from .._validation import as_sample_array, check_positive_int, check_probability, check_random_state
+from ..errors import ValidationError
+
+__all__ = [
+    "bootstrap_ci",
+    "bootstrap_statistic",
+    "AdaptiveStoppingRule",
+    "StoppingDecision",
+]
+
+
+def bootstrap_statistic(
+    samples,
+    statistic: Callable[[np.ndarray], float],
+    *,
+    n_resamples: int = 1000,
+    rng=None,
+) -> np.ndarray:
+    """Bootstrap replicates of *statistic* over *samples*.
+
+    The statistic callable receives a 2-D array ``(n_resamples, n)`` when
+    it is vectorizable (detected by trying once), otherwise it is applied
+    row-by-row.  Returns the 1-D array of replicate values.
+    """
+    x = as_sample_array(samples, min_size=2)
+    n_resamples = check_positive_int(n_resamples, name="n_resamples")
+    gen = check_random_state(rng)
+    idx = gen.integers(0, x.size, size=(n_resamples, x.size))
+    resamples = x[idx]
+    try:
+        values = np.asarray(statistic(resamples), dtype=np.float64)
+        if values.shape == (n_resamples,):
+            return values
+    except Exception:
+        pass
+    return np.array([float(statistic(row)) for row in resamples])
+
+
+def bootstrap_ci(
+    samples,
+    statistic: Callable[[np.ndarray], float],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    rng=None,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for *statistic*."""
+    confidence = check_probability(confidence, name="confidence", inclusive=False)
+    values = bootstrap_statistic(samples, statistic, n_resamples=n_resamples, rng=rng)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(values, [alpha, 1.0 - alpha])
+    return float(lo), float(hi)
+
+
+@dataclass(frozen=True)
+class StoppingDecision:
+    """Outcome of one adaptive-stopping check."""
+
+    n_samples: int
+    ci_low: float
+    ci_high: float
+    relative_width: float
+    should_stop: bool
+
+
+class AdaptiveStoppingRule:
+    """Adaptive stopping rule for performance measurements (paper ref [7]).
+
+    Measure in batches; after each batch, bootstrap a confidence interval
+    for the statistic of interest (median by default) and stop once its
+    width relative to the point estimate drops below ``target_precision``.
+
+    Example
+    -------
+    >>> rule = AdaptiveStoppingRule(target_precision=0.02, rng=0)
+    >>> samples = []
+    >>> for batch in runner:              # doctest: +SKIP
+    ...     samples.extend(batch)
+    ...     if rule.check(samples).should_stop:
+    ...         break
+    """
+
+    def __init__(
+        self,
+        *,
+        statistic: Callable[[np.ndarray], float] | None = None,
+        target_precision: float = 0.02,
+        confidence: float = 0.95,
+        min_samples: int = 10,
+        max_samples: int = 10000,
+        n_resamples: int = 500,
+        rng=None,
+    ) -> None:
+        if target_precision <= 0.0:
+            raise ValidationError("target_precision must be positive")
+        self.statistic = statistic or (lambda rows: np.median(rows, axis=-1))
+        self.target_precision = float(target_precision)
+        self.confidence = check_probability(confidence, name="confidence", inclusive=False)
+        self.min_samples = check_positive_int(min_samples, name="min_samples")
+        self.max_samples = check_positive_int(max_samples, name="max_samples")
+        if self.max_samples < self.min_samples:
+            raise ValidationError("max_samples must be >= min_samples")
+        self.n_resamples = check_positive_int(n_resamples, name="n_resamples")
+        self._rng = check_random_state(rng)
+
+    def check(self, samples) -> StoppingDecision:
+        """Evaluate the rule on the samples collected so far."""
+        x = as_sample_array(samples, min_size=1)
+        if x.size < self.min_samples:
+            return StoppingDecision(x.size, np.nan, np.nan, np.inf, False)
+        lo, hi = bootstrap_ci(
+            x,
+            self.statistic,
+            confidence=self.confidence,
+            n_resamples=self.n_resamples,
+            rng=self._rng,
+        )
+        center = float(self.statistic(x[None, :])[0]) if _vectorized(self.statistic, x) else float(self.statistic(x))
+        denom = abs(center) if center != 0.0 else 1.0
+        rel = (hi - lo) / denom
+        stop = rel <= self.target_precision or x.size >= self.max_samples
+        return StoppingDecision(x.size, lo, hi, float(rel), stop)
+
+    def run(
+        self,
+        sample_source: Callable[[int], np.ndarray],
+        *,
+        batch_size: int = 10,
+    ) -> tuple[np.ndarray, StoppingDecision]:
+        """Drive a measurement loop until the rule fires.
+
+        ``sample_source(k)`` must return *k* fresh measurements.  Returns
+        the collected samples and the final decision.
+        """
+        batch_size = check_positive_int(batch_size, name="batch_size")
+        collected = np.empty(0, dtype=np.float64)
+        decision = StoppingDecision(0, np.nan, np.nan, np.inf, False)
+        while collected.size < self.max_samples:
+            take = min(batch_size, self.max_samples - collected.size)
+            fresh = as_sample_array(sample_source(take), name="sample batch")
+            collected = np.concatenate([collected, fresh])
+            decision = self.check(collected)
+            if decision.should_stop:
+                break
+        return collected, decision
+
+
+def _vectorized(statistic: Callable, x: np.ndarray) -> bool:
+    """Whether *statistic* accepts a 2-D batch (best-effort probe)."""
+    try:
+        out = statistic(x[None, :])
+        return np.asarray(out).shape == (1,)
+    except Exception:
+        return False

@@ -1,0 +1,138 @@
+"""Gaussian kernel density estimation.
+
+The paper visualizes every performance distribution as a KDE curve
+(Section IV-E).  This is a from-scratch, fully vectorized Gaussian KDE with
+the two classic bandwidth rules (Scott, Silverman) plus a robust variant
+that uses the IQR-based spread so daemon-interference outliers do not wash
+out the curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_sample_array, check_random_state
+from ..errors import ValidationError
+
+__all__ = ["GaussianKDE", "scott_bandwidth", "silverman_bandwidth"]
+
+_SQRT_2PI = np.sqrt(2.0 * np.pi)
+
+
+def _spread(x: np.ndarray) -> float:
+    """Robust spread estimate: min(std, IQR/1.349), floored for degenerate data."""
+    std = float(x.std())
+    q75, q25 = np.percentile(x, [75.0, 25.0])
+    iqr = float(q75 - q25)
+    candidates = [s for s in (std, iqr / 1.349) if s > 0.0]
+    if not candidates:
+        # Degenerate (constant) sample: tiny bandwidth relative to location
+        # so the KDE renders as a spike instead of dividing by zero.
+        scale = max(abs(float(x[0])), 1.0)
+        return 1e-6 * scale
+    return min(candidates)
+
+
+def scott_bandwidth(samples) -> float:
+    """Scott's rule: ``sigma * n**(-1/5)``."""
+    x = as_sample_array(samples, min_size=1)
+    return _spread(x) * x.size ** (-1.0 / 5.0)
+
+
+def silverman_bandwidth(samples) -> float:
+    """Silverman's rule of thumb: ``0.9 * sigma * n**(-1/5)``."""
+    x = as_sample_array(samples, min_size=1)
+    return 0.9 * _spread(x) * x.size ** (-1.0 / 5.0)
+
+
+@dataclass(frozen=True)
+class GaussianKDE:
+    """Gaussian kernel density estimate of a 1-D sample.
+
+    Parameters
+    ----------
+    samples:
+        Underlying data points.
+    bandwidth:
+        Kernel standard deviation (must be positive).
+    """
+
+    samples: np.ndarray
+    bandwidth: float
+
+    @classmethod
+    def fit(cls, samples, bandwidth: float | str = "silverman") -> "GaussianKDE":
+        """Fit a KDE, choosing bandwidth by rule name or explicit value."""
+        x = as_sample_array(samples, min_size=1)
+        if isinstance(bandwidth, str):
+            rule = {"scott": scott_bandwidth, "silverman": silverman_bandwidth}.get(
+                bandwidth
+            )
+            if rule is None:
+                raise ValidationError(
+                    f"unknown bandwidth rule {bandwidth!r}; use 'scott' or 'silverman'"
+                )
+            bw = rule(x)
+        else:
+            bw = float(bandwidth)
+        if bw <= 0.0:
+            raise ValidationError(f"bandwidth must be positive, got {bw}")
+        return cls(np.sort(x), bw)
+
+    @property
+    def n(self) -> int:
+        """Number of data points."""
+        return int(self.samples.size)
+
+    def pdf(self, x) -> np.ndarray:
+        """Evaluate the density at query points *x* (vectorized, chunked).
+
+        Chunking bounds peak memory at ~8 MB for huge query grids while
+        keeping the inner computation a single broadcast kernel evaluation
+        (views, no Python-level loops over data points).
+        """
+        xq = np.atleast_1d(np.asarray(x, dtype=np.float64))
+        out = np.empty(xq.shape, dtype=np.float64)
+        chunk = max(1, int(1_000_000 // max(self.n, 1)))
+        inv_bw = 1.0 / self.bandwidth
+        norm = 1.0 / (self.n * self.bandwidth * _SQRT_2PI)
+        for start in range(0, xq.size, chunk):
+            sl = slice(start, start + chunk)
+            z = (xq[sl, None] - self.samples[None, :]) * inv_bw
+            out[sl] = norm * np.exp(-0.5 * z * z).sum(axis=1)
+        return out
+
+    def cdf(self, x) -> np.ndarray:
+        """Evaluate the KDE's CDF (mixture of Gaussian CDFs)."""
+        from scipy.special import ndtr
+
+        xq = np.atleast_1d(np.asarray(x, dtype=np.float64))
+        out = np.empty(xq.shape, dtype=np.float64)
+        chunk = max(1, int(1_000_000 // max(self.n, 1)))
+        inv_bw = 1.0 / self.bandwidth
+        for start in range(0, xq.size, chunk):
+            sl = slice(start, start + chunk)
+            z = (xq[sl, None] - self.samples[None, :]) * inv_bw
+            out[sl] = ndtr(z).mean(axis=1)
+        return out
+
+    def grid(self, n_points: int = 256, pad: float = 3.0) -> np.ndarray:
+        """Evaluation grid covering the data ± ``pad`` bandwidths."""
+        lo = float(self.samples[0]) - pad * self.bandwidth
+        hi = float(self.samples[-1]) + pad * self.bandwidth
+        return np.linspace(lo, hi, n_points)
+
+    def evaluate_on_grid(self, n_points: int = 256) -> tuple[np.ndarray, np.ndarray]:
+        """(grid, density) convenience pair for plotting/export."""
+        g = self.grid(n_points)
+        return g, self.pdf(g)
+
+    def sample(self, n: int, rng=None) -> np.ndarray:
+        """Draw *n* points from the KDE (data resample + Gaussian noise)."""
+        gen = check_random_state(rng)
+        if n <= 0:
+            raise ValidationError(f"n must be positive, got {n}")
+        picks = gen.choice(self.samples, size=n, replace=True)
+        return picks + gen.normal(0.0, self.bandwidth, size=n)

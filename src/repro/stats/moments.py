@@ -1,0 +1,221 @@
+"""Moment computation and feasibility checks.
+
+The paper represents distributions by their first four moments — mean,
+standard deviation, skewness, and kurtosis — both as prediction targets
+(PyMaxEnt / PearsonRnd representations, Section III-B2) and as input-feature
+summaries across a few runs (Section III-B1).  This module provides the
+single source of truth for how those moments are computed.
+
+Conventions match MATLAB ``pearsrnd`` and ``scipy.stats``:
+
+* ``skewness`` is the standardized third central moment
+  (``m3 / m2**1.5``), the *biased* estimator by default (Fisher-Pearson).
+* ``kurtosis`` is the standardized fourth central moment (``m4 / m2**2``),
+  i.e. **not** excess kurtosis: a normal distribution has kurtosis 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from .._validation import as_sample_array
+from ..errors import MomentError
+
+__all__ = [
+    "MomentVector",
+    "central_moments",
+    "standardized_moments",
+    "moment_vector",
+    "moment_matrix",
+    "is_feasible",
+    "check_feasible",
+    "nearest_feasible",
+    "KURTOSIS_MARGIN",
+]
+
+#: Minimum gap enforced between kurtosis and its theoretical lower bound
+#: ``skew**2 + 1``; used when projecting noisy sample moments back into the
+#: feasible region.
+KURTOSIS_MARGIN = 1e-6
+
+
+@dataclass(frozen=True)
+class MomentVector:
+    """First four moments of a distribution.
+
+    Attributes
+    ----------
+    mean:
+        Arithmetic mean.
+    std:
+        Standard deviation (population convention, ``ddof=0``).
+    skew:
+        Standardized third central moment.
+    kurt:
+        Standardized fourth central moment (normal = 3, *not* excess).
+    """
+
+    mean: float
+    std: float
+    skew: float
+    kurt: float
+
+    def as_array(self) -> np.ndarray:
+        """Return ``[mean, std, skew, kurt]`` as a float64 array."""
+        return np.array([self.mean, self.std, self.skew, self.kurt], dtype=np.float64)
+
+    @classmethod
+    def from_array(cls, arr) -> "MomentVector":
+        """Build from a length-4 array ``[mean, std, skew, kurt]``."""
+        a = np.asarray(arr, dtype=np.float64).reshape(-1)
+        if a.size != 4:
+            raise MomentError(f"moment vector must have 4 entries, got {a.size}")
+        return cls(float(a[0]), float(a[1]), float(a[2]), float(a[3]))
+
+    @classmethod
+    def from_samples(cls, samples) -> "MomentVector":
+        """Estimate the four moments from a sample array."""
+        return moment_vector(samples)
+
+    def is_feasible(self) -> bool:
+        """Whether a distribution with these moments can exist."""
+        return is_feasible(self.skew, self.kurt) and self.std >= 0.0
+
+    def feasible(self) -> "MomentVector":
+        """Return the nearest feasible moment vector (projection)."""
+        mean, std, skew, kurt = nearest_feasible(self.mean, self.std, self.skew, self.kurt)
+        return MomentVector(mean, std, skew, kurt)
+
+
+def central_moments(samples, order: int = 4) -> np.ndarray:
+    """Central moments ``m_0..m_order`` of a sample (``m_0 = 1``, ``m_1 = 0``).
+
+    Vectorized single pass over a broadcast power table; ``samples`` must be
+    1-D with at least one element.
+    """
+    x = as_sample_array(samples, min_size=1)
+    if order < 0:
+        raise MomentError(f"order must be non-negative, got {order}")
+    centered = x - x.mean()
+    # powers: shape (order+1, n); small order so the table is cheap and the
+    # reduction stays in one vectorized call.
+    powers = centered[None, :] ** np.arange(order + 1)[:, None]
+    return powers.mean(axis=1)
+
+
+def standardized_moments(samples, order: int = 4) -> np.ndarray:
+    """Standardized moments: ``m_k / m_2**(k/2)`` for ``k = 0..order``.
+
+    For a degenerate (zero-variance) sample the higher standardized moments
+    are defined as 0 (skew) and 3 (kurt) by convention so that constant
+    runtimes behave like a point mass with Gaussian-compatible shape
+    parameters downstream.
+    """
+    m = central_moments(samples, order)
+    if order < 2:
+        return m
+    var = m[2]
+    out = m.copy()
+    if var <= 0.0:
+        # Degenerate sample: emit the moments of a point mass embedded in
+        # the Pearson plane (skew 0, kurt 3) so reconstruction degrades to
+        # a narrow normal instead of dividing by zero.
+        out[2] = 0.0
+        if order >= 3:
+            out[3] = 0.0
+        if order >= 4:
+            out[4] = 3.0
+        return out
+    scale = var ** (np.arange(order + 1) / 2.0)
+    out = m / scale
+    out[2] = 1.0
+    return out
+
+
+def moment_vector(samples) -> MomentVector:
+    """First four moments of *samples* as a :class:`MomentVector`."""
+    x = as_sample_array(samples, min_size=1)
+    m = central_moments(x, 4)
+    mean = float(x.mean())
+    std = float(np.sqrt(m[2]))
+    if m[2] <= 0.0:
+        return MomentVector(mean, 0.0, 0.0, 3.0)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        skew = float(m[3] / m[2] ** 1.5)
+        kurt = float(m[4] / m[2] ** 2)
+    if not (np.isfinite(skew) and np.isfinite(kurt)):
+        # Variance so small that its powers underflow: treat the sample
+        # as a point mass with Gaussian shape parameters.
+        return MomentVector(mean, std, 0.0, 3.0)
+    return MomentVector(mean, std, skew, kurt)
+
+
+def moment_matrix(samples_2d) -> np.ndarray:
+    """Row-wise four-moment summary of a 2-D array.
+
+    Parameters
+    ----------
+    samples_2d:
+        Array of shape ``(n_series, n_samples)``; each row is summarized
+        independently.
+
+    Returns
+    -------
+    ndarray of shape ``(n_series, 4)`` with columns (mean, std, skew, kurt).
+
+    Fully vectorized across rows — this is the hot path when featurizing
+    per-metric statistics over runs.
+    """
+    x = np.asarray(samples_2d, dtype=np.float64)
+    if x.ndim != 2:
+        raise MomentError(f"expected 2-D input, got shape {x.shape}")
+    mean = x.mean(axis=1)
+    centered = x - mean[:, None]
+    m2 = (centered**2).mean(axis=1)
+    m3 = (centered**3).mean(axis=1)
+    m4 = (centered**4).mean(axis=1)
+    std = np.sqrt(m2)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        skew = np.where(m2 > 0.0, m3 / np.where(m2 > 0, m2, 1.0) ** 1.5, 0.0)
+        kurt = np.where(m2 > 0.0, m4 / np.where(m2 > 0, m2, 1.0) ** 2, 3.0)
+    return np.column_stack([mean, std, skew, kurt])
+
+
+def is_feasible(skew: float, kurt: float) -> bool:
+    """Whether ``(skew, kurt)`` satisfies the moment inequality.
+
+    Every real distribution obeys ``kurt >= skew**2 + 1`` (with equality
+    only for two-point distributions).
+    """
+    return bool(np.isfinite(skew) and np.isfinite(kurt) and kurt >= skew * skew + 1.0)
+
+
+def check_feasible(skew: float, kurt: float) -> None:
+    """Raise :class:`~repro.errors.MomentError` when infeasible."""
+    if not is_feasible(skew, kurt):
+        raise MomentError(
+            f"infeasible moments: kurtosis {kurt:.6g} < skew**2 + 1 = "
+            f"{skew * skew + 1.0:.6g}"
+        )
+
+
+def nearest_feasible(
+    mean: float, std: float, skew: float, kurt: float, *, margin: float = KURTOSIS_MARGIN
+) -> tuple[float, float, float, float]:
+    """Project a (possibly noisy / predicted) moment vector into feasibility.
+
+    Model predictions of skewness and kurtosis can violate the
+    ``kurt >= skew**2 + 1`` bound; rather than failing reconstruction we
+    clip kurtosis up to the boundary plus *margin* and force a non-negative
+    standard deviation.  The mean is passed through untouched.
+    """
+    std = max(float(std), 0.0)
+    skew = float(skew) if np.isfinite(skew) else 0.0
+    kurt = float(kurt) if np.isfinite(kurt) else 3.0
+    lower = skew * skew + 1.0 + margin
+    if kurt < lower:
+        kurt = lower
+    return float(mean), std, skew, kurt

@@ -1,0 +1,14 @@
+"""Visualization: terminal density/violin rendering + series export."""
+
+from .ascii import density_ascii, histogram_bar, overlay_ascii, violin_ascii
+from .export import default_results_dir, export_series, export_table
+
+__all__ = [
+    "density_ascii",
+    "histogram_bar",
+    "overlay_ascii",
+    "violin_ascii",
+    "default_results_dir",
+    "export_series",
+    "export_table",
+]

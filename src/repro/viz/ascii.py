@@ -1,0 +1,108 @@
+"""Terminal rendering of distributions (matplotlib stand-in).
+
+The paper's figures are KDE curves and violin plots; without matplotlib
+the experiment harness renders them as Unicode block-character charts that
+read well in CI logs, and exports the underlying series (see
+:mod:`repro.viz.export`) for external plotting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_sample_array
+from ..stats.kde import GaussianKDE
+
+__all__ = ["density_ascii", "overlay_ascii", "violin_ascii", "histogram_bar"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _levels(values: np.ndarray) -> str:
+    """Map non-negative values to block characters (max -> full block)."""
+    top = float(values.max())
+    if top <= 0.0:
+        return " " * values.size
+    idx = np.minimum((values / top * (len(_BLOCKS) - 1)).astype(int), len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[i] for i in idx)
+
+
+def density_ascii(
+    samples,
+    *,
+    width: int = 72,
+    label: str = "",
+    x_range: tuple[float, float] | None = None,
+) -> str:
+    """One-line block-character KDE of a sample.
+
+    >>> print(density_ascii([1.0, 1.0, 1.1, 1.3], label="demo"))  # doctest: +SKIP
+    """
+    x = as_sample_array(samples, min_size=1)
+    kde = GaussianKDE.fit(x)
+    if x_range is None:
+        lo, hi = kde.grid(8)[0], kde.grid(8)[-1]
+    else:
+        lo, hi = x_range
+    grid = np.linspace(lo, hi, width)
+    dens = kde.pdf(grid)
+    bar = _levels(dens)
+    prefix = f"{label:24s} " if label else ""
+    return f"{prefix}[{lo:7.3f}] {bar} [{hi:7.3f}]"
+
+
+def overlay_ascii(
+    measured,
+    predicted,
+    *,
+    width: int = 72,
+    label: str = "",
+) -> str:
+    """Two-row overlay: measured KDE on top, predicted KDE below."""
+    m = as_sample_array(measured, name="measured", min_size=1)
+    p = as_sample_array(predicted, name="predicted", min_size=1)
+    lo = float(min(m.min(), p.min()))
+    hi = float(max(m.max(), p.max()))
+    pad = 0.05 * (hi - lo if hi > lo else 1.0)
+    rng = (lo - pad, hi + pad)
+    top = density_ascii(m, width=width, label=f"{label} measured", x_range=rng)
+    bot = density_ascii(p, width=width, label=f"{label} predicted", x_range=rng)
+    return top + "\n" + bot
+
+
+def violin_ascii(
+    groups: dict[str, np.ndarray],
+    *,
+    width: int = 60,
+    value_range: tuple[float, float] | None = None,
+) -> str:
+    """A labeled one-line density per group — a text violin plot.
+
+    Used for the KS-score violins of Figs. 4, 6, 7 and 8: one row per
+    (representation, model) or per sample count, each showing how scores
+    distribute across benchmarks, annotated with the mean.
+    """
+    if value_range is None:
+        allv = np.concatenate([as_sample_array(v) for v in groups.values()])
+        value_range = (float(allv.min()), float(allv.max()))
+    lo, hi = value_range
+    if hi <= lo:
+        hi = lo + 1.0
+    lines = []
+    for name, values in groups.items():
+        v = as_sample_array(values, min_size=1)
+        kde = GaussianKDE.fit(v)
+        grid = np.linspace(lo, hi, width)
+        bar = _levels(kde.pdf(grid))
+        lines.append(f"{name:28s} |{bar}| mean={v.mean():.3f}")
+    header = f"{'':28s}  {lo:<8.3f}{'':{max(width - 16, 0)}}{hi:>8.3f}"
+    return "\n".join([header, *lines])
+
+
+def histogram_bar(values, *, bins: int = 40, width: int = 72, label: str = "") -> str:
+    """One-line raw histogram (no smoothing) for quick mode inspection."""
+    x = as_sample_array(values, min_size=1)
+    counts, edges = np.histogram(x, bins=bins)
+    bar = _levels(counts.astype(np.float64))
+    prefix = f"{label:24s} " if label else ""
+    return f"{prefix}[{edges[0]:7.3f}] {bar} [{edges[-1]:7.3f}]"

@@ -1,0 +1,55 @@
+"""Figure-series export.
+
+Every reproduced figure writes its underlying data to disk (CSV for tidy
+tables, JSON for nested series) so the paper's plots can be regenerated
+with any plotting tool.  Files land under ``results/`` by default.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..data.table import ColumnTable
+
+__all__ = ["export_table", "export_series", "default_results_dir"]
+
+
+def default_results_dir() -> Path:
+    """``results/`` under the current working directory (created lazily)."""
+    path = Path.cwd() / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def export_table(table: ColumnTable, name: str, directory=None) -> Path:
+    """Write a ColumnTable as ``<dir>/<name>.csv``; returns the path."""
+    directory = Path(directory) if directory is not None else default_results_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.csv"
+    table.to_csv(path)
+    return path
+
+
+def _to_jsonable(obj):
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, dict):
+        return {k: _to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_to_jsonable(v) for v in obj]
+    return obj
+
+
+def export_series(series: dict, name: str, directory=None) -> Path:
+    """Write nested series data as ``<dir>/<name>.json``; returns the path."""
+    directory = Path(directory) if directory is not None else default_results_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    with open(path, "w") as fh:
+        json.dump(_to_jsonable(series), fh, indent=2)
+    return path

@@ -1,0 +1,52 @@
+"""Shared fixtures: small deterministic campaigns for fast tests.
+
+The full paper-scale study (60 benchmarks x 1000 runs) runs in
+``benchmarks/``; unit and integration tests use a reduced roster measured
+once per session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simbench import benchmark_names, measure_all
+
+#: Reduced roster mixing suites and variability archetypes.
+SMALL_ROSTER = (
+    "npb/bt",
+    "npb/cg",
+    "npb/is",
+    "parsec/streamcluster",
+    "parsec/canneal",
+    "spec_omp/376",
+    "spec_omp/358",
+    "spec_accel/303",
+    "spec_accel/359",
+    "parboil/sgemm",
+    "rodinia/heartwall",
+    "mllib/correlation",
+)
+
+
+@pytest.fixture(scope="session")
+def intel_campaigns():
+    """12 benchmarks x 300 runs on the Intel-like system."""
+    return measure_all("intel", benchmarks=SMALL_ROSTER, n_runs=300, n_workers=1)
+
+
+@pytest.fixture(scope="session")
+def amd_campaigns():
+    """12 benchmarks x 300 runs on the AMD-like system."""
+    return measure_all("amd", benchmarks=SMALL_ROSTER, n_runs=300, n_workers=1)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def all_benchmark_names():
+    return benchmark_names()

@@ -1,0 +1,59 @@
+"""Tests for profile featurization."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureConfig, feature_names, profile_features
+from repro.data.dataset import RunCampaign
+
+
+def toy_campaign(n_runs=5):
+    rng = np.random.default_rng(1)
+    runtimes = rng.uniform(1.0, 1.2, size=n_runs)
+    counters = rng.uniform(1e6, 2e6, size=(n_runs, 3))
+    return RunCampaign("a/b", "intel", runtimes, counters, ("x", "y", "z"))
+
+
+class TestProfileFeatures:
+    def test_dimensions(self):
+        f = profile_features(toy_campaign())
+        assert f.shape == (3 * 4,)
+
+    def test_mean_only_config(self):
+        f = profile_features(toy_campaign(), FeatureConfig(include_higher_moments=False))
+        assert f.shape == (3,)
+
+    def test_single_run_degenerate_moments(self):
+        f = profile_features(toy_campaign(1)).reshape(3, 4)
+        assert np.allclose(f[:, 1], 0.0)  # std
+        assert np.allclose(f[:, 2], 0.0)  # skew
+        assert np.allclose(f[:, 3], 3.0)  # kurt convention
+
+    def test_runtime_invariance_of_rates(self):
+        """Two campaigns with identical rates but different runtimes give
+        identical mean-rate features (the per-second normalization)."""
+        rng = np.random.default_rng(2)
+        rates = rng.uniform(100.0, 200.0, size=(4, 2))
+        rt_a = np.full(4, 1.0)
+        rt_b = np.full(4, 50.0)
+        a = RunCampaign("a/b", "intel", rt_a, rates * rt_a[:, None], ("u", "v"))
+        b = RunCampaign("a/b", "intel", rt_b, rates * rt_b[:, None], ("u", "v"))
+        assert np.allclose(profile_features(a), profile_features(b))
+
+    def test_log_and_linear_differ(self):
+        c = toy_campaign()
+        f_log = profile_features(c, FeatureConfig(log_rates=True))
+        f_lin = profile_features(c, FeatureConfig(log_rates=False))
+        assert not np.allclose(f_log, f_lin)
+
+    def test_feature_names_align(self):
+        cfg = FeatureConfig()
+        names = feature_names(("x", "y", "z"), cfg)
+        assert len(names) == 12
+        assert names[0] == "x.mean"
+        assert names[3] == "x.kurt"
+        assert names[4] == "y.mean"
+
+    def test_feature_names_mean_only(self):
+        names = feature_names(("x",), FeatureConfig(include_higher_moments=False))
+        assert names == ["x.mean"]

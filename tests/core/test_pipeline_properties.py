@@ -1,0 +1,83 @@
+"""Cross-module property tests on pipeline invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import FeatureConfig, profile_features
+from repro.core.representations import (
+    HistogramRepresentation,
+    PearsonRndRepresentation,
+)
+from repro.data.dataset import RunCampaign
+
+
+def _campaign_from(runtimes, rates):
+    rt = np.asarray(runtimes)
+    r = np.asarray(rates)
+    return RunCampaign(
+        "p/q", "intel", rt, r * rt[:, None], tuple(f"m{i}" for i in range(r.shape[1]))
+    )
+
+
+@given(
+    n_runs=st.integers(2, 30),
+    scale=st.floats(0.1, 1000.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_features_invariant_to_runtime_scale(n_runs, scale):
+    """Multiplying all runtimes by a constant while keeping per-second
+    rates fixed must not change the profile features (the paper's
+    normalization guarantee)."""
+    rng = np.random.default_rng(0)
+    rates = rng.uniform(10.0, 100.0, size=(n_runs, 4))
+    rt = rng.uniform(1.0, 2.0, size=n_runs)
+    f1 = profile_features(_campaign_from(rt, rates))
+    f2 = profile_features(_campaign_from(rt * scale, rates))
+    assert np.allclose(f1, f2, rtol=1e-8, atol=1e-10)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_property_histogram_encode_decode_preserves_mass(seed):
+    """Encoding then decoding any sample keeps total probability 1 and
+    the CDF within [0, 1]."""
+    rng = np.random.default_rng(seed)
+    samples = rng.normal(1.0, rng.uniform(0.01, 0.2), size=200)
+    rep = HistogramRepresentation()
+    recon = rep.reconstruct(rep.encode(samples))
+    grid = np.linspace(0.5, 2.0, 100)
+    cdf = recon.cdf(grid)
+    assert np.all((cdf >= 0.0) & (cdf <= 1.0))
+    assert np.all(np.diff(cdf) >= -1e-12)
+    assert cdf[-1] == pytest.approx(1.0)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_property_pearson_roundtrip_moments(seed):
+    """encode -> reconstruct -> sample approximately recovers the first
+    two moments for arbitrary positive samples."""
+    rng = np.random.default_rng(seed)
+    samples = rng.gamma(rng.uniform(2, 30), 1.0, size=500)
+    samples = samples / samples.mean()
+    rep = PearsonRndRepresentation()
+    recon = rep.reconstruct(rep.encode(samples))
+    out = recon.sample(4000, rng=rng)
+    assert out.mean() == pytest.approx(samples.mean(), abs=0.05)
+    assert out.std() == pytest.approx(samples.std(), rel=0.35, abs=0.01)
+
+
+@given(
+    n_probe=st.integers(1, 20),
+)
+@settings(max_examples=10, deadline=None)
+def test_property_feature_dim_independent_of_probe_size(n_probe):
+    """Feature vectors have fixed length regardless of probe size — a
+    model trained at one probe size accepts any other."""
+    rng = np.random.default_rng(1)
+    rates = rng.uniform(1.0, 10.0, size=(n_probe, 5))
+    rt = rng.uniform(0.5, 1.5, size=n_probe)
+    f = profile_features(_campaign_from(rt, rates), FeatureConfig())
+    assert f.shape == (5 * 4,)

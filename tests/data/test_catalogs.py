@@ -1,0 +1,50 @@
+"""Tests for the metric catalogs (Tables II/III)."""
+
+import pytest
+
+from repro.data.catalogs import AMD_METRICS, INTEL_METRICS, metric_catalog
+from repro.errors import UnknownSystemError
+
+
+class TestCatalogs:
+    def test_paper_dimensions(self):
+        assert len(INTEL_METRICS) == 68
+        assert len(AMD_METRICS) == 75
+
+    def test_unique_names(self):
+        assert len(set(INTEL_METRICS)) == 68
+        assert len(set(AMD_METRICS)) == 75
+
+    def test_key_intel_metrics_present(self):
+        for m in (
+            "branch-instructions",
+            "cache-misses",
+            "LLC-load-misses",
+            "node-load-misses",
+            "topdown.backend_bound_slots",
+            "unc_cha_tor_inserts.io_miss",
+            "duration_time",
+        ):
+            assert m in INTEL_METRICS
+
+    def test_key_amd_metrics_present(self):
+        for m in (
+            "stalled-cycles-backend",
+            "l1_data_cache_fills_from_remote_node",
+            "l3_cache_accesses",
+            "bp_l1_btb_correct",
+            "fp_ret_sse_avx_ops.all",
+            "all_tlbs_flushed",
+        ):
+            assert m in AMD_METRICS
+
+    def test_lookup(self):
+        assert metric_catalog("intel") is INTEL_METRICS
+        assert metric_catalog("AMD") is AMD_METRICS
+        with pytest.raises(UnknownSystemError):
+            metric_catalog("arm")
+
+    def test_shared_generic_events(self):
+        shared = set(INTEL_METRICS) & set(AMD_METRICS)
+        # perf software + generic hardware events exist on both systems.
+        assert {"instructions", "cache-misses", "context-switches", "page-faults"} <= shared

@@ -1,0 +1,53 @@
+"""CampaignStore behaviour across multiple systems and benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import CampaignStore, RunCampaign
+
+
+def _campaign(bench, system, n=10):
+    rng = np.random.default_rng(hash((bench, system)) % 2**32)
+    return RunCampaign(
+        bench,
+        system,
+        rng.uniform(1.0, 2.0, n),
+        rng.uniform(1.0, 5.0, (n, 2)),
+        ("a", "b"),
+    )
+
+
+class TestMultiEntryStore:
+    def test_same_benchmark_two_systems(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.save(_campaign("npb/cg", "intel"))
+        store.save(_campaign("npb/cg", "amd"))
+        assert store.has("npb/cg", "intel")
+        assert store.has("npb/cg", "amd")
+        assert not np.array_equal(
+            store.load("npb/cg", "intel").runtimes,
+            store.load("npb/cg", "amd").runtimes,
+        )
+
+    def test_list_is_sorted_and_complete(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        for bench in ("suite/x", "suite/y"):
+            for system in ("intel", "amd"):
+                store.save(_campaign(bench, system))
+        entries = store.list_campaigns()
+        assert len(entries) == 4
+        assert ("suite/x", "intel") in entries
+        assert ("suite/y", "amd") in entries
+
+    def test_overwrite_updates(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.save(_campaign("s/b", "intel", n=5))
+        store.save(_campaign("s/b", "intel", n=20))
+        assert store.load("s/b", "intel").n_runs == 20
+
+    def test_slash_names_roundtrip(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.save(_campaign("spec_omp/376", "intel"))
+        loaded = store.load("spec_omp/376", "intel")
+        assert loaded.benchmark == "spec_omp/376"
+        assert store.list_campaigns() == [("spec_omp/376", "intel")]

@@ -1,0 +1,101 @@
+"""Tests for the mini column table."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import ColumnTable
+from repro.errors import ValidationError
+
+
+@pytest.fixture()
+def table():
+    return ColumnTable(
+        {
+            "name": ["a", "b", "c", "d"],
+            "suite": ["s1", "s1", "s2", "s2"],
+            "value": [1.0, 2.0, 3.0, 4.0],
+        }
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ColumnTable({})
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValidationError):
+            ColumnTable({"a": [1, 2], "b": [1]})
+
+    def test_from_rows(self):
+        t = ColumnTable.from_rows([{"x": 1, "y": "p"}, {"x": 2, "y": "q"}])
+        assert len(t) == 2
+        assert t["x"].tolist() == [1, 2]
+
+    def test_from_rows_empty(self):
+        with pytest.raises(ValidationError):
+            ColumnTable.from_rows([])
+
+
+class TestAccess(object):
+    def test_len_and_columns(self, table):
+        assert len(table) == 4
+        assert table.column_names == ["name", "suite", "value"]
+
+    def test_getitem_missing(self, table):
+        with pytest.raises(KeyError):
+            table["nope"]
+
+    def test_row_and_rows(self, table):
+        assert table.row(0) == {"name": "a", "suite": "s1", "value": 1.0}
+        assert len(list(table.rows())) == 4
+
+    def test_contains(self, table):
+        assert "value" in table
+        assert "nope" not in table
+
+
+class TestTransforms:
+    def test_filter(self, table):
+        t = table.filter(table["value"] > 2.0)
+        assert t["name"].tolist() == ["c", "d"]
+
+    def test_filter_bad_mask(self, table):
+        with pytest.raises(ValidationError):
+            table.filter([True, False])
+
+    def test_sort_by(self, table):
+        t = table.sort_by("value", descending=True)
+        assert t["name"].tolist() == ["d", "c", "b", "a"]
+
+    def test_with_column(self, table):
+        t = table.with_column("doubled", table["value"] * 2)
+        assert "doubled" in t
+        assert "doubled" not in table
+
+    def test_select(self, table):
+        t = table.select(["name"])
+        assert t.column_names == ["name"]
+
+    def test_group_by(self, table):
+        g = table.group_by("suite", {"total": ("value", np.sum), "n": ("value", len)})
+        assert g["suite"].tolist() == ["s1", "s2"]
+        assert g["total"].tolist() == [3.0, 7.0]
+        assert g["n"].tolist() == [2, 2]
+
+
+class TestIO:
+    def test_csv_roundtrip(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        table.to_csv(path)
+        import csv
+
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["name", "suite", "value"]
+        assert len(rows) == 5
+
+    def test_markdown(self, table):
+        md = table.to_markdown()
+        assert md.splitlines()[0] == "| name | suite | value |"
+        assert "| a | s1 | 1 |" in md

@@ -1,0 +1,55 @@
+"""Additional ColumnTable behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import ColumnTable
+
+
+class TestImmutabilitySemantics:
+    def test_with_column_does_not_mutate_original(self):
+        t = ColumnTable({"a": [1, 2]})
+        t2 = t.with_column("b", [3, 4])
+        assert "b" not in t
+        assert "b" in t2
+
+    def test_filter_returns_new_table(self):
+        t = ColumnTable({"a": [1, 2, 3]})
+        t2 = t.filter(t["a"] > 1)
+        assert len(t) == 3
+        assert len(t2) == 2
+
+
+class TestSortStability:
+    def test_stable_sort_preserves_ties_order(self):
+        t = ColumnTable({"k": [1, 1, 0, 0], "tag": ["a", "b", "c", "d"]})
+        s = t.sort_by("k")
+        assert s["tag"].tolist() == ["c", "d", "a", "b"]
+
+    def test_descending(self):
+        t = ColumnTable({"k": [3, 1, 2]})
+        assert t.sort_by("k", descending=True)["k"].tolist() == [3, 2, 1]
+
+
+class TestGroupByExtra:
+    def test_multiple_aggregations_same_column(self):
+        t = ColumnTable({"g": ["x", "x", "y"], "v": [1.0, 3.0, 5.0]})
+        out = t.group_by("g", {
+            "lo": ("v", np.min),
+            "hi": ("v", np.max),
+            "mean": ("v", np.mean),
+        })
+        row_x = out.filter(out["g"] == "x").row(0)
+        assert (row_x["lo"], row_x["hi"], row_x["mean"]) == (1.0, 3.0, 2.0)
+
+    def test_groups_sorted(self):
+        t = ColumnTable({"g": ["b", "a", "b"], "v": [1, 2, 3]})
+        out = t.group_by("g", {"n": ("v", len)})
+        assert out["g"].tolist() == ["a", "b"]
+
+
+class TestRowsRoundtrip:
+    def test_from_rows_to_rows(self):
+        rows = [{"x": 1, "y": "p"}, {"x": 2, "y": "q"}]
+        t = ColumnTable.from_rows(rows)
+        assert [dict(r) for r in t.rows()] == rows

@@ -1,0 +1,44 @@
+"""Tests for campaign measurement under experiment configs."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.usecase1 import measure_campaigns
+from repro.experiments.usecase2 import measure_both_systems
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return ExperimentConfig(
+        benchmarks=("npb/bt", "npb/cg", "rodinia/bfs"),
+        n_runs=50,
+    )
+
+
+class TestMeasureCampaigns:
+    def test_respects_benchmark_subset(self, small_config):
+        out = measure_campaigns(small_config, "intel")
+        assert list(out) == ["npb/bt", "npb/cg", "rodinia/bfs"]
+        assert all(c.n_runs == 50 for c in out.values())
+
+    def test_deterministic_in_root_seed(self, small_config):
+        a = measure_campaigns(small_config, "intel")
+        b = measure_campaigns(small_config, "intel")
+        for k in a:
+            assert np.array_equal(a[k].runtimes, b[k].runtimes)
+
+    def test_different_root_seed_changes_data(self, small_config):
+        from dataclasses import replace
+
+        other = replace(small_config, root_seed=small_config.root_seed + 1)
+        a = measure_campaigns(small_config, "intel")
+        b = measure_campaigns(other, "intel")
+        assert not np.array_equal(a["npb/bt"].runtimes, b["npb/bt"].runtimes)
+
+    def test_both_systems_order(self, small_config):
+        amd, intel = measure_both_systems(small_config)
+        assert amd["npb/bt"].system == "amd"
+        assert intel["npb/bt"].system == "intel"
+        assert amd["npb/bt"].counters.shape[1] == 75
+        assert intel["npb/bt"].counters.shape[1] == 68

@@ -1,0 +1,103 @@
+"""Tests for experiment reporting helpers (synthetic tables, no sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import ColumnTable
+from repro.experiments.reporting import (
+    best_by_model,
+    best_by_representation,
+    direction_report,
+    grid_mean_ks,
+    grid_report,
+    sweep_report,
+)
+
+
+@pytest.fixture()
+def synthetic_grid():
+    rows = []
+    rng = np.random.default_rng(0)
+    means = {
+        ("pearsonrnd", "knn"): 0.20,
+        ("pearsonrnd", "rf"): 0.24,
+        ("histogram", "knn"): 0.26,
+        ("histogram", "rf"): 0.28,
+    }
+    for (rep, model), mu in means.items():
+        for i in range(20):
+            rows.append(
+                {
+                    "representation": rep,
+                    "model": model,
+                    "benchmark": f"b{i}",
+                    "suite": "s",
+                    "ks": float(np.clip(rng.normal(mu, 0.02), 0.01, 0.9)),
+                }
+            )
+    return ColumnTable.from_rows(rows)
+
+
+class TestGridMeanKS:
+    def test_one_row_per_combination(self, synthetic_grid):
+        means = grid_mean_ks(synthetic_grid)
+        assert len(means) == 4
+        assert set(means.column_names) == {
+            "representation",
+            "model",
+            "mean_ks",
+            "median_ks",
+        }
+
+    def test_means_close_to_construction(self, synthetic_grid):
+        means = grid_mean_ks(synthetic_grid)
+        lookup = {
+            (r["representation"], r["model"]): r["mean_ks"] for r in means.rows()
+        }
+        assert lookup[("pearsonrnd", "knn")] == pytest.approx(0.20, abs=0.02)
+        assert lookup[("histogram", "rf")] == pytest.approx(0.28, abs=0.02)
+
+
+class TestBests:
+    def test_best_by_representation_takes_min_over_models(self, synthetic_grid):
+        best = best_by_representation(synthetic_grid)
+        assert best["pearsonrnd"] == pytest.approx(0.20, abs=0.02)
+        assert best["histogram"] == pytest.approx(0.26, abs=0.02)
+
+    def test_best_by_model_takes_min_over_reps(self, synthetic_grid):
+        best = best_by_model(synthetic_grid)
+        assert best["knn"] == pytest.approx(0.20, abs=0.02)
+        assert best["rf"] == pytest.approx(0.24, abs=0.02)
+
+
+class TestReports:
+    def test_grid_report_contains_all_combos(self, synthetic_grid):
+        text = grid_report(synthetic_grid, title="T")
+        for combo in ("pearsonrnd+knn", "pearsonrnd+rf", "histogram+knn", "histogram+rf"):
+            assert combo in text
+
+    def test_sweep_report(self):
+        rng = np.random.default_rng(1)
+        rows = []
+        for n in (1, 5, 10):
+            for i in range(15):
+                rows.append(
+                    {
+                        "n_samples": n,
+                        "benchmark": f"b{i}",
+                        "suite": "s",
+                        "ks": float(np.clip(rng.normal(0.3 - 0.01 * n, 0.02), 0.01, 0.9)),
+                    }
+                )
+        text = sweep_report(ColumnTable.from_rows(rows), title="sweep")
+        assert "n=1" in text and "n=10" in text
+
+    def test_direction_report(self):
+        rng = np.random.default_rng(2)
+        rows = [
+            {"direction": d, "benchmark": f"b{i}", "suite": "s", "ks": float(rng.uniform(0.1, 0.4))}
+            for d in ("amd_to_intel", "intel_to_amd")
+            for i in range(10)
+        ]
+        text = direction_report(ColumnTable.from_rows(rows), title="dir")
+        assert "amd_to_intel" in text and "intel_to_amd" in text

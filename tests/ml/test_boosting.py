@@ -1,0 +1,80 @@
+"""Tests for XGBoost-style gradient boosting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.metrics import r2_score
+
+
+class TestGradientBoosting:
+    def test_fits_linear_function(self, rng):
+        X = rng.uniform(-1, 1, size=(300, 3))
+        y = 2.0 * X[:, 0] - X[:, 1]
+        m = GradientBoostingRegressor(100, learning_rate=0.3, max_depth=3, rng=0).fit(X, y)
+        Xt = rng.uniform(-0.8, 0.8, size=(100, 3))
+        yt = 2.0 * Xt[:, 0] - Xt[:, 1]
+        assert r2_score(yt.reshape(-1, 1), m.predict(Xt)) > 0.9
+
+    def test_training_error_decreases_with_rounds(self, rng):
+        X = rng.normal(size=(200, 4))
+        y = np.sin(X[:, 0] * 2) + 0.3 * X[:, 1] ** 2
+        errors = []
+        for n in (5, 20, 80):
+            m = GradientBoostingRegressor(n, learning_rate=0.2, rng=0).fit(X, y)
+            errors.append(np.mean((m.predict(X)[:, 0] - y) ** 2))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_multi_output_targets(self, rng):
+        X = rng.normal(size=(150, 5))
+        Y = np.column_stack([X[:, 0], X[:, 1] ** 2, np.ones(150)])
+        m = GradientBoostingRegressor(60, learning_rate=0.2, rng=0).fit(X, Y)
+        pred = m.predict(X)
+        assert pred.shape == (150, 3)
+        assert r2_score(Y[:, :2], pred[:, :2]) > 0.7
+        assert np.allclose(pred[:, 2], 1.0, atol=0.05)
+
+    def test_zero_rounds_invalid(self):
+        with pytest.raises(ValidationError):
+            GradientBoostingRegressor(0)
+
+    def test_bad_learning_rate(self):
+        with pytest.raises(ValidationError):
+            GradientBoostingRegressor(10, learning_rate=0.0)
+
+    def test_bad_subsample(self):
+        with pytest.raises(ValidationError):
+            GradientBoostingRegressor(10, subsample=0.0)
+        with pytest.raises(ValidationError):
+            GradientBoostingRegressor(10, subsample=1.5)
+
+    def test_reproducible(self, rng):
+        X = np.asarray(rng.normal(size=(100, 6)))
+        y = rng.normal(size=100)
+        Xt = rng.normal(size=(10, 6))
+        p1 = GradientBoostingRegressor(20, subsample=0.8, colsample_bytree=0.7, rng=5).fit(X, y).predict(Xt)
+        p2 = GradientBoostingRegressor(20, subsample=0.8, colsample_bytree=0.7, rng=5).fit(X, y).predict(Xt)
+        assert np.array_equal(p1, p2)
+
+    def test_regularization_shrinks_leaves(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = rng.normal(size=50) * 10.0
+        weak = GradientBoostingRegressor(1, learning_rate=1.0, reg_lambda=1e6, rng=0).fit(X, y)
+        # With huge lambda, the single tree contributes ~nothing beyond the base.
+        assert np.allclose(weak.predict(X)[:, 0], y.mean(), atol=0.1)
+
+    def test_column_subsampling_uses_all_features_eventually(self, rng):
+        X = np.asarray(rng.normal(size=(100, 10)))
+        y = X.sum(axis=1)
+        m = GradientBoostingRegressor(30, colsample_bytree=0.3, rng=0).fit(X, y)
+        used = set()
+        for cols in m.tree_columns_:
+            used.update(cols.tolist())
+        assert len(used) == 10
+
+    def test_base_prediction_is_mean(self, rng):
+        X = rng.normal(size=(40, 2))
+        Y = rng.normal(size=(40, 3)) + 5.0
+        m = GradientBoostingRegressor(5, rng=0).fit(X, Y)
+        assert np.allclose(m.base_prediction_, Y.mean(axis=0))

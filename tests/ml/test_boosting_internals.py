@@ -1,0 +1,64 @@
+"""Tests for gradient-boosting leaf regularization internals."""
+
+import numpy as np
+import pytest
+
+from repro.ml.boosting import GradientBoostingRegressor
+
+
+class TestLeafRegularization:
+    def test_newton_step_formula(self, rng):
+        """With one boosting round, lr=1 and a depth-1 tree, each leaf's
+        contribution must equal sum(residuals) / (count + lambda)."""
+        X = np.concatenate([np.zeros((30, 1)), np.ones((30, 1))])
+        y = np.concatenate([np.zeros(30), np.full(30, 10.0)])
+        lam = 5.0
+        m = GradientBoostingRegressor(
+            1, learning_rate=1.0, max_depth=1, reg_lambda=lam, rng=0
+        ).fit(X, y)
+        base = y.mean()
+        # Residuals: left leaf 30x(-5), right leaf 30x(+5).
+        expected_left = base + (30 * (0.0 - base)) / (30 + lam)
+        expected_right = base + (30 * (10.0 - base)) / (30 + lam)
+        pred_left = m.predict([[0.0]])[0, 0]
+        pred_right = m.predict([[1.0]])[0, 0]
+        assert pred_left == pytest.approx(expected_left, abs=1e-9)
+        assert pred_right == pytest.approx(expected_right, abs=1e-9)
+
+    def test_lambda_zero_reproduces_leaf_means(self, rng):
+        X = np.concatenate([np.zeros((10, 1)), np.ones((10, 1))])
+        y = np.concatenate([np.full(10, 2.0), np.full(10, 8.0)])
+        m = GradientBoostingRegressor(
+            1, learning_rate=1.0, max_depth=1, reg_lambda=0.0, rng=0
+        ).fit(X, y)
+        assert m.predict([[0.0]])[0, 0] == pytest.approx(2.0)
+        assert m.predict([[1.0]])[0, 0] == pytest.approx(8.0)
+
+    def test_unseen_leaf_keeps_zero_contribution(self, rng):
+        """Row subsampling can leave leaves without assigned rows; their
+        value must stay neutral rather than inheriting unregularized
+        means."""
+        X = rng.normal(size=(100, 3))
+        y = rng.normal(size=100)
+        m = GradientBoostingRegressor(
+            10, learning_rate=0.5, max_depth=3, subsample=0.3, rng=1
+        ).fit(X, y)
+        pred = m.predict(rng.normal(size=(50, 3)))
+        assert np.all(np.abs(pred) < 10.0 * (np.abs(y).max() + 1.0))
+
+    def test_multi_output_leaves_independent(self, rng):
+        X = np.concatenate([np.zeros((20, 1)), np.ones((20, 1))])
+        Y = np.column_stack(
+            [
+                np.concatenate([np.zeros(20), np.full(20, 4.0)]),
+                np.concatenate([np.full(20, -2.0), np.full(20, 2.0)]),
+            ]
+        )
+        m = GradientBoostingRegressor(
+            30, learning_rate=0.5, max_depth=1, reg_lambda=1.0, rng=0
+        ).fit(X, Y)
+        pred = m.predict([[0.0], [1.0]])
+        assert pred[0, 0] == pytest.approx(0.0, abs=0.05)
+        assert pred[1, 0] == pytest.approx(4.0, abs=0.05)
+        assert pred[0, 1] == pytest.approx(-2.0, abs=0.05)
+        assert pred[1, 1] == pytest.approx(2.0, abs=0.05)

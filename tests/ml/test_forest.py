@@ -1,0 +1,64 @@
+"""Tests for the random forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.metrics import r2_score
+from repro.ml.tree import RegressionTree
+
+
+class TestRandomForest:
+    def test_beats_single_tree_on_noisy_data(self, rng):
+        n, d = 400, 10
+        X = rng.normal(size=(n, d))
+        y = X[:, 0] * 2.0 + np.sin(3 * X[:, 1]) + rng.normal(scale=0.5, size=n)
+        Xt = rng.normal(size=(200, d))
+        yt = Xt[:, 0] * 2.0 + np.sin(3 * Xt[:, 1])
+        tree = RegressionTree().fit(X, y)
+        forest = RandomForestRegressor(40, rng=0).fit(X, y)
+        r2_tree = r2_score(yt.reshape(-1, 1), tree.predict(Xt))
+        r2_forest = r2_score(yt.reshape(-1, 1), forest.predict(Xt))
+        assert r2_forest > r2_tree
+
+    def test_reproducible_with_seed(self, rng):
+        X = np.asarray(rng.normal(size=(100, 5)))
+        y = rng.normal(size=(100, 2))
+        Xt = rng.normal(size=(10, 5))
+        p1 = RandomForestRegressor(10, rng=42).fit(X, y).predict(Xt)
+        p2 = RandomForestRegressor(10, rng=42).fit(X, y).predict(Xt)
+        assert np.array_equal(p1, p2)
+
+    def test_different_seeds_differ(self, rng):
+        X = np.asarray(rng.normal(size=(100, 5)))
+        y = rng.normal(size=100)
+        Xt = rng.normal(size=(10, 5))
+        p1 = RandomForestRegressor(10, rng=1).fit(X, y).predict(Xt)
+        p2 = RandomForestRegressor(10, rng=2).fit(X, y).predict(Xt)
+        assert not np.array_equal(p1, p2)
+
+    def test_multi_output_shape(self, rng):
+        X = rng.normal(size=(50, 4))
+        Y = rng.normal(size=(50, 6))
+        m = RandomForestRegressor(5, rng=0).fit(X, Y)
+        assert m.predict(X[:7]).shape == (7, 6)
+
+    def test_no_bootstrap_deep_forest_interpolates(self, rng):
+        X = rng.normal(size=(60, 3))
+        y = rng.normal(size=60)
+        m = RandomForestRegressor(5, bootstrap=False, max_features=None, rng=0).fit(X, y)
+        assert np.allclose(m.predict(X)[:, 0], y, atol=1e-9)
+
+    def test_prediction_is_tree_average(self, rng):
+        X = rng.normal(size=(80, 4))
+        y = rng.normal(size=80)
+        m = RandomForestRegressor(7, rng=0).fit(X, y)
+        Xt = rng.normal(size=(5, 4))
+        manual = np.mean([t._predict(Xt) for t in m.trees_], axis=0)
+        assert np.allclose(m.predict(Xt), manual)
+
+    def test_constant_target(self, rng):
+        X = rng.normal(size=(30, 3))
+        y = np.full(30, 5.0)
+        m = RandomForestRegressor(5, rng=0).fit(X, y)
+        assert np.allclose(m.predict(X), 5.0)

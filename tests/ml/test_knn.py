@@ -1,0 +1,134 @@
+"""Tests for the kNN regressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotFittedError, ValidationError
+from repro.ml.knn import KNNRegressor, pairwise_distances
+
+
+class TestPairwiseDistances:
+    def test_cosine_identity(self, rng):
+        A = rng.normal(size=(5, 8))
+        d = pairwise_distances(A, A, "cosine")
+        assert np.allclose(np.diag(d), 0.0, atol=1e-12)
+
+    def test_cosine_opposite_vectors(self):
+        A = np.array([[1.0, 0.0]])
+        B = np.array([[-1.0, 0.0]])
+        assert pairwise_distances(A, B, "cosine")[0, 0] == pytest.approx(2.0)
+
+    def test_cosine_scale_invariance(self, rng):
+        A = rng.normal(size=(3, 6))
+        B = rng.normal(size=(4, 6))
+        d1 = pairwise_distances(A, B, "cosine")
+        d2 = pairwise_distances(A * 7.0, B * 0.1, "cosine")
+        assert np.allclose(d1, d2, atol=1e-10)
+
+    def test_euclidean_matches_norm(self, rng):
+        A = rng.normal(size=(4, 5))
+        B = rng.normal(size=(6, 5))
+        d = pairwise_distances(A, B, "euclidean")
+        ref = np.linalg.norm(A[:, None, :] - B[None, :, :], axis=2)
+        assert np.allclose(d, ref, atol=1e-10)
+
+    def test_manhattan_matches_sum_abs(self, rng):
+        A = rng.normal(size=(4, 5))
+        B = rng.normal(size=(6, 5))
+        d = pairwise_distances(A, B, "manhattan")
+        ref = np.abs(A[:, None, :] - B[None, :, :]).sum(axis=2)
+        assert np.allclose(d, ref, atol=1e-10)
+
+    def test_zero_vector_cosine_defined(self):
+        A = np.zeros((1, 3))
+        B = np.ones((1, 3))
+        d = pairwise_distances(A, B, "cosine")
+        assert np.isfinite(d).all()
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValidationError):
+            pairwise_distances(np.ones((1, 2)), np.ones((1, 2)), "chebyshev")
+
+
+class TestKNNRegressor:
+    def test_exact_match_with_k1(self, rng):
+        X = rng.normal(size=(20, 4))
+        y = rng.normal(size=(20, 3))
+        m = KNNRegressor(1, metric="euclidean").fit(X, y)
+        assert np.allclose(m.predict(X), y)
+
+    def test_k_clipped_to_train_size(self, rng):
+        X = rng.normal(size=(5, 3))
+        y = rng.normal(size=5)
+        m = KNNRegressor(15).fit(X, y)
+        pred = m.predict(X[:2])
+        # All 5 neighbors used -> prediction equals global mean.
+        assert np.allclose(pred, y.mean(), atol=1e-12)
+
+    def test_multi_output_shape(self, rng):
+        X = rng.normal(size=(30, 4))
+        Y = rng.normal(size=(30, 7))
+        m = KNNRegressor(5).fit(X, Y)
+        assert m.predict(X[:3]).shape == (3, 7)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KNNRegressor(3).predict(np.ones((1, 2)))
+
+    def test_feature_count_checked(self, rng):
+        m = KNNRegressor(3).fit(rng.normal(size=(10, 4)), rng.normal(size=10))
+        with pytest.raises(ValueError):
+            m.predict(np.ones((1, 5)))
+
+    def test_distance_weighting_prefers_closer(self, rng):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        m = KNNRegressor(2, metric="euclidean", weights="distance").fit(X, y)
+        pred = m.predict([[0.1]])[0, 0]
+        assert pred < 5.0  # closer to the 0-label point
+
+    def test_distance_weighting_exact_match_dominates(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([5.0, 10.0, 20.0])
+        m = KNNRegressor(3, metric="euclidean", weights="distance").fit(X, y)
+        assert m.predict([[1.0]])[0, 0] == pytest.approx(10.0)
+
+    def test_smooth_function_learned(self, rng):
+        X = rng.uniform(-2, 2, size=(400, 2))
+        y = np.sin(X[:, 0]) + 0.5 * X[:, 1]
+        m = KNNRegressor(10, metric="euclidean").fit(X, y)
+        Xt = rng.uniform(-1.5, 1.5, size=(50, 2))
+        yt = np.sin(Xt[:, 0]) + 0.5 * Xt[:, 1]
+        err = np.abs(m.predict(Xt)[:, 0] - yt).mean()
+        assert err < 0.15
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            KNNRegressor(0)
+        with pytest.raises(ValidationError):
+            KNNRegressor(3, metric="bad")
+        with pytest.raises(ValidationError):
+            KNNRegressor(3, weights="bad")
+
+    def test_clone_is_unfitted_same_params(self, rng):
+        m = KNNRegressor(7, metric="manhattan").fit(
+            rng.normal(size=(10, 2)), rng.normal(size=10)
+        )
+        c = m.clone()
+        assert not c.is_fitted
+        assert c.n_neighbors == 7
+        assert c.metric == "manhattan"
+
+    @given(st.integers(1, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_property_prediction_within_target_hull(self, k):
+        """kNN mean predictions never leave the convex hull of targets."""
+        rng = np.random.default_rng(k)
+        X = rng.normal(size=(30, 3))
+        y = rng.uniform(5.0, 9.0, size=30)
+        m = KNNRegressor(k, metric="euclidean").fit(X, y)
+        pred = m.predict(rng.normal(size=(10, 3)))
+        assert np.all(pred >= 5.0 - 1e-9)
+        assert np.all(pred <= 9.0 + 1e-9)

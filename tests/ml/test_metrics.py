@@ -1,0 +1,54 @@
+"""Tests for regression metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.ml.metrics import mean_absolute_error, mean_squared_error, r2_score
+
+
+class TestMSEAndMAE:
+    def test_perfect_prediction(self):
+        y = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert mean_squared_error(y, y) == 0.0
+        assert mean_absolute_error(y, y) == 0.0
+
+    def test_known_values(self):
+        a = np.array([0.0, 0.0])
+        b = np.array([1.0, 3.0])
+        assert mean_squared_error(a, b) == pytest.approx(5.0)
+        assert mean_absolute_error(a, b) == pytest.approx(2.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            mean_squared_error([1.0], [1.0, 2.0])
+
+
+class TestR2:
+    def test_perfect_is_one(self, rng):
+        y = rng.normal(size=(50, 3))
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_mean_prediction_is_zero(self, rng):
+        y = rng.normal(size=100)
+        pred = np.full_like(y, y.mean())
+        assert r2_score(y, pred) == pytest.approx(0.0, abs=1e-12)
+
+    def test_worse_than_mean_is_negative(self, rng):
+        y = rng.normal(size=100)
+        pred = -y * 3
+        assert r2_score(y, pred) < 0.0
+
+    def test_constant_target_exact(self):
+        y = np.full(10, 2.0)
+        assert r2_score(y, y) == 1.0
+
+    def test_constant_target_missed(self):
+        y = np.full(10, 2.0)
+        assert r2_score(y, y + 1.0) == 0.0
+
+    def test_multioutput_average(self, rng):
+        y = rng.normal(size=(100, 2))
+        pred = y.copy()
+        pred[:, 1] = y[:, 1].mean()  # R2 = 1 and 0 -> average 0.5
+        assert r2_score(y, pred) == pytest.approx(0.5, abs=1e-12)

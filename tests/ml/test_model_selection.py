@@ -1,0 +1,100 @@
+"""Tests for CV splitters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.ml.knn import KNNRegressor
+from repro.ml.model_selection import (
+    GroupKFold,
+    KFold,
+    LeaveOneGroupOut,
+    cross_val_predict,
+)
+
+
+class TestKFold:
+    def test_partitions_cover_everything(self, rng):
+        X = rng.normal(size=(23, 2))
+        seen = []
+        for train, test in KFold(5).split(X):
+            seen.extend(test.tolist())
+            assert set(train) | set(test) == set(range(23))
+            assert not set(train) & set(test)
+        assert sorted(seen) == list(range(23))
+
+    def test_shuffle_reproducible(self, rng):
+        X = np.zeros((10, 1))
+        a = [t.tolist() for _, t in KFold(2, shuffle=True, rng=3).split(X)]
+        b = [t.tolist() for _, t in KFold(2, shuffle=True, rng=3).split(X)]
+        assert a == b
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValidationError):
+            list(KFold(5).split(np.zeros((3, 1))))
+
+    def test_n_splits_validation(self):
+        with pytest.raises(ValidationError):
+            KFold(1)
+
+
+class TestGroupKFold:
+    def test_groups_never_straddle_folds(self):
+        X = np.zeros((12, 1))
+        groups = np.repeat(["a", "b", "c", "d"], 3)
+        for train, test in GroupKFold(2).split(X, groups=groups):
+            assert not set(groups[train]) & set(groups[test])
+
+    def test_requires_groups(self):
+        with pytest.raises(ValidationError):
+            list(GroupKFold(2).split(np.zeros((4, 1))))
+
+    def test_balancing(self):
+        # 4 groups of very different sizes into 2 folds.
+        sizes = [10, 9, 1, 1]
+        groups = np.concatenate([[i] * s for i, s in enumerate(sizes)])
+        X = np.zeros((len(groups), 1))
+        fold_sizes = [len(test) for _, test in GroupKFold(2).split(X, groups=groups)]
+        assert max(fold_sizes) <= 11  # 10+1 vs 9+1, not 10+9 vs 1+1
+
+
+class TestLeaveOneGroupOut:
+    def test_one_fold_per_group(self):
+        X = np.zeros((9, 1))
+        groups = np.repeat(["x", "y", "z"], 3)
+        folds = list(LeaveOneGroupOut().split(X, groups=groups))
+        assert len(folds) == 3
+        held_out = [set(np.asarray(groups)[test]) for _, test in folds]
+        assert held_out == [{"x"}, {"y"}, {"z"}]
+
+    def test_train_never_contains_test_group(self):
+        X = np.zeros((8, 1))
+        groups = np.array([1, 1, 2, 2, 3, 3, 4, 4])
+        for train, test in LeaveOneGroupOut().split(X, groups=groups):
+            assert not set(groups[train]) & set(groups[test])
+
+    def test_single_group_rejected(self):
+        with pytest.raises(ValidationError):
+            list(LeaveOneGroupOut().split(np.zeros((3, 1)), groups=[1, 1, 1]))
+
+
+class TestCrossValPredict:
+    def test_every_row_predicted(self, rng):
+        X = rng.normal(size=(30, 3))
+        y = X @ np.array([1.0, -1.0, 0.5])
+        oof = cross_val_predict(
+            KNNRegressor(3, metric="euclidean"), X, y, cv=KFold(5)
+        )
+        assert oof.shape == y.shape
+        assert np.isfinite(oof).all()
+
+    def test_logo_excludes_own_group(self, rng):
+        # Targets are constant per group; with the group held out, kNN can
+        # never predict its exact value.
+        X = rng.normal(size=(20, 2))
+        groups = np.repeat(np.arange(4), 5)
+        y = groups.astype(float) * 100.0
+        oof = cross_val_predict(
+            KNNRegressor(1, metric="euclidean"), X, y, cv=LeaveOneGroupOut(), groups=groups
+        )
+        assert not np.any(oof == y)

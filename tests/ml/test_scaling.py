@@ -1,0 +1,59 @@
+"""Tests for feature scalers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.scaling import RobustScaler, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-12)
+
+    def test_zero_variance_column_untouched_scale(self):
+        X = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        s = StandardScaler().fit(X)
+        assert s.scale_[0] == 1.0
+        Z = s.transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.normal(size=(50, 3)) * [1.0, 100.0, 1e-6]
+        s = StandardScaler().fit(X)
+        assert np.allclose(s.inverse_transform(s.transform(X)), X, rtol=1e-10)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_feature_count_mismatch(self, rng):
+        s = StandardScaler().fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError):
+            s.transform(np.ones((2, 4)))
+
+
+class TestRobustScaler:
+    def test_median_centered(self, rng):
+        X = rng.exponential(size=(500, 3))
+        Z = RobustScaler().fit_transform(X)
+        assert np.allclose(np.median(Z, axis=0), 0.0, atol=1e-12)
+
+    def test_outlier_insensitivity(self, rng):
+        base = rng.normal(size=(100, 1))
+        spiked = base.copy()
+        spiked[0] = 1e9
+        s1 = RobustScaler().fit(base)
+        s2 = RobustScaler().fit(spiked)
+        # Center and scale barely move despite the enormous outlier.
+        assert abs(s1.center_[0] - s2.center_[0]) < 0.1
+        assert abs(s1.scale_[0] - s2.scale_[0]) < 0.1
+
+    def test_constant_column_unit_scale(self):
+        X = np.ones((10, 1)) * 4.0
+        s = RobustScaler().fit(X)
+        assert s.scale_[0] == 1.0
+        assert np.allclose(s.transform(X), 0.0)

@@ -1,0 +1,110 @@
+"""Tests for the perf-counter model."""
+
+import numpy as np
+import pytest
+
+from repro.simbench.counters import CounterModel, anchor_trait
+from repro.simbench.suites import get_benchmark
+from repro.simbench.systems import AMD_SYSTEM, INTEL_SYSTEM
+from repro.simbench.variability import RuntimeLaw
+
+
+@pytest.fixture(scope="module")
+def intel_model():
+    return CounterModel.for_system(INTEL_SYSTEM)
+
+
+class TestAnchors:
+    @pytest.mark.parametrize(
+        "metric,trait",
+        [
+            ("branch-misses", "branch_entropy"),
+            ("dTLB-load-misses", "working_set"),
+            ("node-load-misses", "numa_sensitivity"),
+            ("l1_data_cache_fills_from_remote_node", "numa_sensitivity"),
+            ("cycle_activity.stalls_total", "memory_boundedness"),
+            ("context-switches", "sync_intensity"),
+            ("fp_ret_sse_avx_ops.all", "vector_intensity"),
+            ("instructions", "compute_intensity"),
+            ("page-faults", "sync_intensity"),
+        ],
+    )
+    def test_semantic_anchoring(self, metric, trait):
+        assert anchor_trait(metric)[0] == trait
+
+    def test_unknown_metric_gets_default(self):
+        trait, base, coupling, basis = anchor_trait("mystery_event_xyz")
+        assert trait == "compute_intensity"
+        assert basis == "work"
+
+    def test_basis_semantics(self):
+        assert anchor_trait("instructions")[3] == "work"
+        assert anchor_trait("cpu-cycles")[3] == "time"
+        assert anchor_trait("task-clock")[3] == "time"
+        assert anchor_trait("branch-misses")[3] == "work"
+
+
+class TestModelConstruction:
+    def test_catalog_dimensions(self, intel_model):
+        assert len(intel_model.metric_names) == 68
+        amd = CounterModel.for_system(AMD_SYSTEM)
+        assert len(amd.metric_names) == 75
+
+    def test_deterministic_and_cached(self, intel_model):
+        again = CounterModel.for_system(INTEL_SYSTEM)
+        assert again is intel_model  # lru_cache
+
+    def test_systems_have_different_loadings(self, intel_model):
+        amd = CounterModel.for_system(AMD_SYSTEM)
+        shared = set(intel_model.metric_names) & set(amd.metric_names)
+        i = intel_model.metric_names.index("branch-misses")
+        j = amd.metric_names.index("branch-misses")
+        assert "branch-misses" in shared
+        assert not np.allclose(intel_model.loadings[i], amd.loadings[j])
+
+
+class TestRates:
+    def test_similar_apps_similar_profiles(self, intel_model):
+        """The learnability premise: log-rate distance grows with trait
+        distance."""
+        apps = [get_benchmark(n) for n in (
+            "npb/bt", "npb/sp", "mllib/correlation", "mllib/pca", "rodinia/bfs",
+        )]
+        rates = {a.name: intel_model.expected_log_rates(a) for a in apps}
+        d_same_suite = np.linalg.norm(rates["npb/bt"] - rates["npb/sp"])
+        d_cross = np.linalg.norm(rates["npb/bt"] - rates["mllib/correlation"])
+        assert d_same_suite < d_cross
+
+    def test_numa_mode_lights_up_numa_counters(self, intel_model):
+        app = get_benchmark("spec_omp/376")
+        law = RuntimeLaw.for_pair(app, INTEL_SYSTEM)
+        draws = law.sample(4000, np.random.default_rng(0))
+        totals = intel_model.sample_counters(app, draws, np.random.default_rng(1))
+        rates = totals / draws.runtimes[:, None]
+        j = intel_model.metric_names.index("node-load-misses")
+        remote = rates[draws.numa_state == 1.0, j].mean()
+        local = rates[draws.numa_state == 0.0, j].mean()
+        assert remote > 2.0 * local
+
+    def test_duration_time_equals_runtime(self, intel_model):
+        app = get_benchmark("npb/cg")
+        law = RuntimeLaw.for_pair(app, INTEL_SYSTEM)
+        draws = law.sample(50, np.random.default_rng(0))
+        totals = intel_model.sample_counters(app, draws, np.random.default_rng(1))
+        j = intel_model.metric_names.index("duration_time")
+        assert np.allclose(totals[:, j], draws.runtimes)
+
+    def test_counters_positive(self, intel_model):
+        app = get_benchmark("parsec/dedup")
+        law = RuntimeLaw.for_pair(app, INTEL_SYSTEM)
+        draws = law.sample(100, np.random.default_rng(2))
+        totals = intel_model.sample_counters(app, draws, np.random.default_rng(3))
+        assert np.all(totals > 0.0)
+
+    def test_reproducible(self, intel_model):
+        app = get_benchmark("npb/ft")
+        law = RuntimeLaw.for_pair(app, INTEL_SYSTEM)
+        draws = law.sample(10, np.random.default_rng(4))
+        a = intel_model.sample_counters(app, draws, np.random.default_rng(5))
+        b = intel_model.sample_counters(app, draws, np.random.default_rng(5))
+        assert np.array_equal(a, b)

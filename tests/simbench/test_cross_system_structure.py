@@ -1,0 +1,52 @@
+"""Tests for the cross-system statistical structure.
+
+Use case 2 is only solvable if the two systems' behaviours are related
+but not identical; these tests pin that property of the substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simbench import benchmark_names, run_campaign
+from repro.stats.moments import moment_vector
+
+
+@pytest.fixture(scope="module")
+def paired_moments():
+    names = benchmark_names()[::4]  # every 4th benchmark, 15 total
+    intel, amd = [], []
+    for b in names:
+        intel.append(moment_vector(run_campaign(b, "intel", 400).relative_times()))
+        amd.append(moment_vector(run_campaign(b, "amd", 400).relative_times()))
+    return names, intel, amd
+
+
+class TestCrossSystemStructure:
+    def test_spreads_correlate_across_systems(self, paired_moments):
+        """An app that is variable on AMD tends to be variable on Intel —
+        otherwise use case 2 would be unlearnable."""
+        _, intel, amd = paired_moments
+        si = np.array([m.std for m in intel])
+        sa = np.array([m.std for m in amd])
+        r = np.corrcoef(np.log(si + 1e-6), np.log(sa + 1e-6))[0, 1]
+        # Pair-idiosyncratic mode geometry (variability.py) deliberately
+        # weakens this link; it must stay clearly positive.
+        assert r > 0.3
+
+    def test_distributions_not_identical(self, paired_moments):
+        """The mapping is non-trivial: per-benchmark std differs between
+        systems by more than sampling noise for most benchmarks."""
+        _, intel, amd = paired_moments
+        ratio = np.array([a.std / max(i.std, 1e-9) for i, a in zip(intel, amd)])
+        assert np.mean(np.abs(np.log(ratio)) > 0.1) > 0.5
+
+    def test_absolute_runtimes_differ(self):
+        i = run_campaign("npb/cg", "intel", 50).runtimes.mean()
+        a = run_campaign("npb/cg", "amd", 50).runtimes.mean()
+        assert i != pytest.approx(a, rel=0.01)
+
+    def test_counter_spaces_differ_in_dimension(self):
+        i = run_campaign("npb/cg", "intel", 5)
+        a = run_campaign("npb/cg", "amd", 5)
+        assert i.counters.shape[1] == 68
+        assert a.counters.shape[1] == 75

@@ -1,0 +1,41 @@
+"""Shape pinning for the paper's showcase benchmark (SPEC OMP 376)."""
+
+import numpy as np
+import pytest
+
+from repro.simbench import run_campaign
+from repro.stats.kde import GaussianKDE
+
+
+@pytest.fixture(scope="module")
+def rel376():
+    return run_campaign("spec_omp/376", "intel", 1000).relative_times()
+
+
+class TestFig1Shape:
+    def test_two_modes_via_kde(self, rel376):
+        """KDE has (at least) two local maxima separated by a valley."""
+        kde = GaussianKDE.fit(rel376)
+        g = np.linspace(rel376.min(), rel376.max(), 400)
+        d = kde.pdf(g)
+        # local maxima
+        peaks = np.nonzero((d[1:-1] > d[:-2]) & (d[1:-1] > d[2:]) & (d[1:-1] > 0.1 * d.max()))[0]
+        assert peaks.size >= 2, f"expected >=2 KDE peaks, found {peaks.size}"
+
+    def test_larger_mode_is_faster(self, rel376):
+        """Paper Fig. 1(a): the bigger mode sits at lower relative time."""
+        median_split = 1.0
+        left = np.sum(rel376 < median_split)
+        right = np.sum(rel376 >= median_split)
+        assert left > right
+
+    def test_mean_between_modes(self, rel376):
+        """The mean is not representative of either mode (the paper's
+        motivating observation)."""
+        kde = GaussianKDE.fit(rel376)
+        mean_density = kde.pdf(np.array([1.0]))[0]
+        _, dens = kde.evaluate_on_grid(400)
+        assert mean_density < 0.9 * dens.max()
+
+    def test_wide_overall(self, rel376):
+        assert rel376.std() > 0.03

@@ -1,0 +1,65 @@
+"""Tests for latent traits and system models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnknownSystemError, ValidationError
+from repro.simbench.latent import TRAIT_NAMES, AppCharacteristics
+from repro.simbench.systems import AMD_SYSTEM, INTEL_SYSTEM, SYSTEMS, get_system
+
+
+class TestAppCharacteristics:
+    def test_trait_count(self):
+        assert len(TRAIT_NAMES) == 12
+
+    def test_construction_validates_shape(self):
+        with pytest.raises(ValidationError):
+            AppCharacteristics("x", np.zeros(5), 1.0)
+
+    def test_construction_validates_range(self):
+        t = np.full(12, 0.5)
+        t[0] = 1.5
+        with pytest.raises(ValidationError):
+            AppCharacteristics("x", t, 1.0)
+
+    def test_base_runtime_positive(self):
+        with pytest.raises(ValidationError):
+            AppCharacteristics("x", np.full(12, 0.5), 0.0)
+
+    def test_from_dict_defaults(self):
+        app = AppCharacteristics.from_dict("x", {"branch_entropy": 0.9}, 2.0)
+        assert app.trait("branch_entropy") == 0.9
+        assert app.trait("compute_intensity") == 0.5
+
+    def test_from_dict_unknown_trait(self):
+        with pytest.raises(ValidationError):
+            AppCharacteristics.from_dict("x", {"nope": 0.1}, 1.0)
+
+    def test_as_dict_roundtrip(self):
+        app = AppCharacteristics.from_dict("x", {"working_set": 0.7}, 1.0)
+        d = app.as_dict()
+        again = AppCharacteristics.from_dict("x", d, 1.0)
+        assert np.allclose(app.traits, again.traits)
+
+
+class TestSystemModels:
+    def test_paper_topology(self):
+        for s in (INTEL_SYSTEM, AMD_SYSTEM):
+            assert s.n_sockets == 2
+            assert s.cores_per_socket == 32
+            assert s.total_cores == 64
+
+    def test_metric_catalogs_attached(self):
+        assert len(INTEL_SYSTEM.metric_names) == 68
+        assert len(AMD_SYSTEM.metric_names) == 75
+
+    def test_registry(self):
+        assert set(SYSTEMS) == {"intel", "amd"}
+        assert get_system("intel") is INTEL_SYSTEM
+
+    def test_unknown_system(self):
+        with pytest.raises(UnknownSystemError):
+            get_system("riscv")
+
+    def test_systems_hashable_for_caching(self):
+        assert hash(INTEL_SYSTEM) != hash(AMD_SYSTEM)

@@ -1,0 +1,54 @@
+"""Fig.-3-style shape coverage of the simulated roster.
+
+The paper's zoo shows narrow, moderate, wide, multimodal and long-tailed
+distributions; the substrate must produce all archetypes or the
+representation comparison would be degenerate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simbench import benchmark_names, run_campaign
+from repro.stats.moments import moment_vector
+
+
+@pytest.fixture(scope="module")
+def intel_shapes():
+    out = {}
+    for name in benchmark_names():
+        rel = run_campaign(name, "intel", 600).relative_times()
+        out[name] = rel
+    return out
+
+
+class TestShapeCoverage:
+    def test_narrow_group_exists(self, intel_shapes):
+        stds = {n: r.std() for n, r in intel_shapes.items()}
+        assert sum(1 for s in stds.values() if s < 0.015) >= 5
+
+    def test_wide_group_exists(self, intel_shapes):
+        stds = {n: r.std() for n, r in intel_shapes.items()}
+        assert sum(1 for s in stds.values() if s > 0.04) >= 5
+
+    def test_right_skewed_tails_exist(self, intel_shapes):
+        skews = [moment_vector(r).skew for r in intel_shapes.values()]
+        assert sum(1 for s in skews if s > 1.0) >= 3
+
+    def test_platykurtic_bimodals_exist(self, intel_shapes):
+        kurts = [moment_vector(r).kurt for r in intel_shapes.values()]
+        assert sum(1 for k in kurts if k < 2.2) >= 5
+
+    def test_multimodal_group_exists(self, intel_shapes):
+        """At least a handful of benchmarks show a clear density gap."""
+        count = 0
+        for rel in intel_shapes.values():
+            hist, _ = np.histogram(rel, bins=30)
+            populated = np.nonzero(hist > 0.02 * hist.max())[0]
+            if np.any(np.diff(populated) >= 3):
+                count += 1
+        assert count >= 8
+
+    def test_every_distribution_centred_at_one(self, intel_shapes):
+        for rel in intel_shapes.values():
+            assert rel.mean() == pytest.approx(1.0)
+            assert 0.5 < np.median(rel) < 1.5

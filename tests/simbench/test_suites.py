@@ -1,0 +1,104 @@
+"""Tests for the benchmark roster (Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnknownBenchmarkError
+from repro.simbench.latent import TRAIT_NAMES
+from repro.simbench.suites import (
+    SUITES,
+    benchmark_names,
+    benchmark_roster,
+    get_benchmark,
+    suite_of,
+)
+
+
+class TestRosterShape:
+    def test_sixty_benchmarks_in_seven_suites(self):
+        assert len(SUITES) == 7
+        assert len(benchmark_names()) == 60
+
+    def test_table1_suite_sizes(self):
+        sizes = {s: len(b) for s, b in SUITES.items()}
+        assert sizes == {
+            "npb": 9,
+            "parsec": 9,
+            "spec_omp": 5,
+            "spec_accel": 8,
+            "parboil": 8,
+            "rodinia": 10,
+            "mllib": 11,
+        }
+
+    def test_expected_members_present(self):
+        names = benchmark_names()
+        for expected in (
+            "npb/bt",
+            "parsec/streamcluster",
+            "spec_omp/376",
+            "spec_accel/303",
+            "parboil/mrigridding",
+            "rodinia/heartwall",
+            "mllib/correlation",
+        ):
+            assert expected in names
+
+    def test_names_unique(self):
+        names = benchmark_names()
+        assert len(set(names)) == len(names)
+
+
+class TestRosterDeterminism:
+    def test_roster_stable_across_calls(self):
+        a = benchmark_roster()
+        b = benchmark_roster()
+        for x, y in zip(a, b):
+            assert x.name == y.name
+            assert np.array_equal(x.traits, y.traits)
+            assert x.base_runtime == y.base_runtime
+
+    def test_traits_in_unit_interval(self):
+        for app in benchmark_roster():
+            assert np.all(app.traits >= 0.0)
+            assert np.all(app.traits <= 1.0)
+            assert app.base_runtime > 0.0
+
+    def test_overrides_applied(self):
+        b376 = get_benchmark("spec_omp/376")
+        assert b376.trait("numa_sensitivity") == 0.9
+        heartwall = get_benchmark("rodinia/heartwall")
+        assert heartwall.trait("numa_sensitivity") == pytest.approx(0.05)
+
+    def test_suite_priors_shape_suites(self):
+        # MLlib (JVM) has systematically higher allocator variability than
+        # NPB kernels.
+        mllib = [get_benchmark(f"mllib/{b}") for b in SUITES["mllib"]]
+        npb = [get_benchmark(f"npb/{b}") for b in SUITES["npb"]]
+        mllib_alloc = np.mean([a.trait("alloc_variability") for a in mllib])
+        npb_alloc = np.mean([a.trait("alloc_variability") for a in npb])
+        assert mllib_alloc > npb_alloc + 0.2
+
+
+class TestLookup:
+    def test_get_benchmark_roundtrip(self):
+        for name in benchmark_names():
+            assert get_benchmark(name).name == name
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(UnknownBenchmarkError):
+            get_benchmark("npb/doesnotexist")
+
+    def test_suite_of(self):
+        assert suite_of("rodinia/bfs") == "rodinia"
+        with pytest.raises(UnknownBenchmarkError):
+            suite_of("bfs")
+        with pytest.raises(UnknownBenchmarkError):
+            suite_of("nosuite/bfs")
+
+    def test_trait_accessor_validates(self):
+        app = get_benchmark("npb/cg")
+        with pytest.raises(Exception):
+            app.trait("not_a_trait")
+        for t in TRAIT_NAMES:
+            assert 0.0 <= app.trait(t) <= 1.0

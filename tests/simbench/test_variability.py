@@ -1,0 +1,108 @@
+"""Tests for the runtime-variability law."""
+
+import numpy as np
+import pytest
+
+from repro.simbench.suites import get_benchmark
+from repro.simbench.systems import AMD_SYSTEM, INTEL_SYSTEM
+from repro.simbench.variability import RuntimeLaw
+
+
+@pytest.fixture(scope="module")
+def law376():
+    return RuntimeLaw.for_pair(get_benchmark("spec_omp/376"), INTEL_SYSTEM)
+
+
+class TestLawConstruction:
+    def test_deterministic(self, law376):
+        again = RuntimeLaw.for_pair(get_benchmark("spec_omp/376"), INTEL_SYSTEM)
+        assert law376 == again
+
+    def test_systems_differ(self):
+        app = get_benchmark("npb/cg")
+        intel = RuntimeLaw.for_pair(app, INTEL_SYSTEM)
+        amd = RuntimeLaw.for_pair(app, AMD_SYSTEM)
+        assert intel.mean_runtime != amd.mean_runtime
+        assert intel.p_numa_remote != amd.p_numa_remote
+
+    def test_probabilities_in_range(self):
+        for bench in ("npb/cg", "mllib/correlation", "rodinia/heartwall"):
+            for system in (INTEL_SYSTEM, AMD_SYSTEM):
+                law = RuntimeLaw.for_pair(get_benchmark(bench), system)
+                assert 0.0 <= law.p_freq_loss <= 1.0
+                assert 0.0 <= law.p_numa_remote <= 1.0
+                assert 0.0 <= law.p_daemon <= 1.0
+                assert law.mean_runtime > 0.0
+
+    def test_trait_monotonicity_numa(self):
+        """More NUMA-sensitive apps suffer larger NUMA mode separation."""
+        hi = RuntimeLaw.for_pair(get_benchmark("spec_omp/376"), INTEL_SYSTEM)
+        lo = RuntimeLaw.for_pair(get_benchmark("rodinia/heartwall"), INTEL_SYSTEM)
+        assert hi.numa_slowdown > lo.numa_slowdown
+
+    def test_alloc_modes_from_trait(self):
+        jvm = RuntimeLaw.for_pair(get_benchmark("mllib/correlation"), INTEL_SYSTEM)
+        kernel = RuntimeLaw.for_pair(get_benchmark("rodinia/heartwall"), INTEL_SYSTEM)
+        assert jvm.n_alloc_modes == 3
+        assert kernel.n_alloc_modes == 1
+
+
+class TestSampling:
+    def test_reproducible_given_seed(self, law376):
+        a = law376.sample(100, np.random.default_rng(1))
+        b = law376.sample(100, np.random.default_rng(1))
+        assert np.array_equal(a.runtimes, b.runtimes)
+
+    def test_runtimes_positive(self, law376):
+        d = law376.sample(5000, np.random.default_rng(2))
+        assert np.all(d.runtimes > 0.0)
+
+    def test_mode_indicators_binary(self, law376):
+        d = law376.sample(1000, np.random.default_rng(3))
+        assert set(np.unique(d.freq_state)) <= {0.0, 1.0}
+        assert set(np.unique(d.numa_state)) <= {0.0, 1.0}
+
+    def test_mode_frequencies_match_probabilities(self, law376):
+        d = law376.sample(20000, np.random.default_rng(4))
+        assert d.numa_state.mean() == pytest.approx(law376.p_numa_remote, abs=0.02)
+        assert d.freq_state.mean() == pytest.approx(law376.p_freq_loss, abs=0.02)
+
+    def test_numa_mode_actually_slower(self, law376):
+        d = law376.sample(20000, np.random.default_rng(5))
+        slow = d.runtimes[d.numa_state == 1.0].mean()
+        fast = d.runtimes[d.numa_state == 0.0].mean()
+        assert slow > fast * (1.0 + 0.5 * law376.numa_slowdown)
+
+    def test_daemon_spikes_rare_but_large(self):
+        law = RuntimeLaw.for_pair(get_benchmark("parsec/streamcluster"), INTEL_SYSTEM)
+        d = law.sample(50000, np.random.default_rng(6))
+        hit = d.daemon > 0.0
+        assert 0.0 < hit.mean() < 0.25
+        assert d.daemon[hit].mean() > 0.0
+
+    def test_component_summary_keys(self, law376):
+        s = law376.component_summary()
+        assert set(s) >= {"mean_runtime_s", "p_freq_loss", "p_numa_remote", "p_daemon"}
+
+
+class TestDistributionShapes:
+    def test_narrow_benchmark_narrower_than_wide(self):
+        rng = np.random.default_rng(7)
+        narrow = RuntimeLaw.for_pair(get_benchmark("rodinia/heartwall"), INTEL_SYSTEM)
+        wide = RuntimeLaw.for_pair(get_benchmark("spec_accel/303"), INTEL_SYSTEM)
+        rn = narrow.sample(2000, rng).runtimes
+        rw = wide.sample(2000, rng).runtimes
+        assert (rn.std() / rn.mean()) < 0.3 * (rw.std() / rw.mean())
+
+    def test_376_bimodal(self):
+        """The Fig.-1 benchmark shows two separated modes on Intel."""
+        law = RuntimeLaw.for_pair(get_benchmark("spec_omp/376"), INTEL_SYSTEM)
+        r = law.sample(4000, np.random.default_rng(8)).runtimes
+        rel = r / r.mean()
+        counts, edges = np.histogram(rel, bins=30)
+        # Two clear clusters: find the biggest gap of near-empty bins
+        # separating populated regions.
+        populated = counts > 0.02 * counts.max()
+        idx = np.nonzero(populated)[0]
+        has_gap = np.any(np.diff(idx) >= 3)
+        assert has_gap, f"expected a bimodal gap, got counts={counts}"

@@ -1,0 +1,94 @@
+"""Tests for bootstrap CIs and the adaptive stopping rule."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.stats.bootstrap import (
+    AdaptiveStoppingRule,
+    bootstrap_ci,
+    bootstrap_statistic,
+)
+
+
+class TestBootstrapStatistic:
+    def test_vectorized_statistic(self, rng):
+        x = rng.normal(size=200)
+        reps = bootstrap_statistic(
+            x, lambda rows: np.mean(rows, axis=-1), n_resamples=500, rng=rng
+        )
+        assert reps.shape == (500,)
+        assert reps.mean() == pytest.approx(x.mean(), abs=0.05)
+
+    def test_scalar_statistic_fallback(self, rng):
+        x = rng.normal(size=50)
+        reps = bootstrap_statistic(x, lambda row: float(np.median(row)), n_resamples=100, rng=rng)
+        assert reps.shape == (100,)
+
+    def test_needs_two_samples(self, rng):
+        with pytest.raises(ValidationError):
+            bootstrap_statistic([1.0], np.mean, rng=rng)
+
+
+class TestBootstrapCI:
+    def test_ci_contains_true_mean_usually(self, rng):
+        x = rng.normal(10.0, 1.0, size=500)
+        lo, hi = bootstrap_ci(x, lambda rows: np.mean(rows, axis=-1), rng=rng)
+        assert lo < 10.0 < hi
+        assert hi - lo < 0.5
+
+    def test_ci_width_shrinks_with_n(self, rng):
+        small = rng.normal(size=30)
+        big = np.concatenate([small, rng.normal(size=2000)])
+        f = lambda rows: np.mean(rows, axis=-1)  # noqa: E731
+        lo1, hi1 = bootstrap_ci(small, f, rng=np.random.default_rng(1))
+        lo2, hi2 = bootstrap_ci(big, f, rng=np.random.default_rng(1))
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_invalid_confidence(self, rng):
+        with pytest.raises(ValidationError):
+            bootstrap_ci([1.0, 2.0], np.mean, confidence=1.0, rng=rng)
+
+
+class TestAdaptiveStoppingRule:
+    def test_low_variance_stops_early(self, rng):
+        rule = AdaptiveStoppingRule(target_precision=0.05, min_samples=10, rng=0)
+        gen = np.random.default_rng(7)
+        samples, decision = rule.run(lambda k: gen.normal(100.0, 0.5, size=k), batch_size=10)
+        assert decision.should_stop
+        assert samples.size <= 40
+
+    def test_high_variance_needs_more_samples(self):
+        rule = AdaptiveStoppingRule(
+            target_precision=0.01, min_samples=10, max_samples=200, rng=0
+        )
+        gen = np.random.default_rng(7)
+        samples, decision = rule.run(lambda k: gen.lognormal(0.0, 1.0, size=k), batch_size=20)
+        assert samples.size > 20
+
+    def test_max_samples_respected(self):
+        rule = AdaptiveStoppingRule(
+            target_precision=1e-9, min_samples=10, max_samples=50, rng=0
+        )
+        gen = np.random.default_rng(3)
+        samples, decision = rule.run(lambda k: gen.normal(size=k), batch_size=10)
+        assert samples.size == 50
+        assert decision.should_stop
+
+    def test_below_min_samples_never_stops(self):
+        rule = AdaptiveStoppingRule(min_samples=100, rng=0)
+        d = rule.check(np.ones(10))
+        assert not d.should_stop
+        assert d.relative_width == np.inf
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            AdaptiveStoppingRule(target_precision=0.0)
+        with pytest.raises(ValidationError):
+            AdaptiveStoppingRule(min_samples=10, max_samples=5)
+
+    def test_decision_reports_ci(self, rng):
+        rule = AdaptiveStoppingRule(target_precision=0.5, min_samples=10, rng=1)
+        d = rule.check(rng.normal(50.0, 1.0, size=100))
+        assert d.ci_low < d.ci_high
+        assert d.should_stop

@@ -1,0 +1,88 @@
+"""Tests for ECDF / quantiles / relative time."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.stats.empirical import (
+    ECDF,
+    quantiles,
+    relative_time,
+    summary_quantiles,
+    trim_outliers,
+)
+
+
+class TestRelativeTime:
+    def test_mean_is_one(self, rng):
+        r = relative_time(rng.uniform(10, 20, size=100))
+        assert r.mean() == pytest.approx(1.0)
+
+    def test_shape_preserved(self, rng):
+        x = rng.exponential(5.0, size=1000)
+        r = relative_time(x)
+        assert np.allclose(r * x.mean(), x)
+
+    def test_nonpositive_mean_rejected(self):
+        with pytest.raises(ValidationError):
+            relative_time([-1.0, -2.0])
+
+    @given(st.lists(st.floats(0.1, 1e6), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_property_mean_one(self, values):
+        assert relative_time(values).mean() == pytest.approx(1.0, rel=1e-9)
+
+
+class TestQuantiles:
+    def test_median(self):
+        assert quantiles([1.0, 2.0, 3.0], 0.5)[0] == 2.0
+
+    def test_invalid_level(self):
+        with pytest.raises(ValidationError):
+            quantiles([1.0], 1.5)
+
+    def test_summary_keys(self, rng):
+        s = summary_quantiles(rng.normal(size=100))
+        assert list(s) == ["p01", "p05", "p25", "p50", "p75", "p95", "p99"]
+        assert s["p01"] <= s["p50"] <= s["p99"]
+
+
+class TestTrimOutliers:
+    def test_removes_extreme_tail(self, rng):
+        x = np.concatenate([rng.normal(size=999), [1e9]])
+        t = trim_outliers(x, upper=0.999)
+        assert t.max() < 1e6
+        assert t.size >= 990
+
+
+class TestECDF:
+    def test_step_values(self):
+        e = ECDF.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert e([0.5, 1.0, 2.5, 4.0, 9.0]).tolist() == [0.0, 0.25, 0.5, 1.0, 1.0]
+
+    def test_inverse_roundtrip(self, rng):
+        x = rng.normal(size=500)
+        e = ECDF.from_samples(x)
+        q = e.inverse([0.25, 0.5, 0.75])
+        assert np.all(np.diff(q) >= 0)
+        assert q[1] == pytest.approx(np.median(x), abs=0.1)
+
+    def test_inverse_bounds_checked(self):
+        e = ECDF.from_samples([1.0, 2.0])
+        with pytest.raises(ValidationError):
+            e.inverse([2.0])
+
+    def test_support(self):
+        e = ECDF.from_samples([3.0, 1.0, 2.0])
+        assert e.support() == (1.0, 3.0)
+
+    @given(st.lists(st.floats(-1e5, 1e5), min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_property_cdf_in_unit_interval_and_monotone(self, values):
+        e = ECDF.from_samples(values)
+        grid = np.linspace(min(values) - 1, max(values) + 1, 50)
+        c = e(grid)
+        assert np.all((c >= 0.0) & (c <= 1.0))
+        assert np.all(np.diff(c) >= 0.0)

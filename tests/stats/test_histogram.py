@@ -1,0 +1,92 @@
+"""Tests for the histogram distribution representation substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.stats.histogram import DensityHistogram, HistogramGrid
+
+
+class TestHistogramGrid:
+    def test_edges_and_centers(self):
+        g = HistogramGrid(0.0, 1.0, 4)
+        assert np.allclose(g.edges, [0.0, 0.25, 0.5, 0.75, 1.0])
+        assert np.allclose(g.centers, [0.125, 0.375, 0.625, 0.875])
+        assert g.width == 0.25
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValidationError):
+            HistogramGrid(1.0, 1.0, 10)
+
+    def test_too_few_bins(self):
+        with pytest.raises(ValidationError):
+            HistogramGrid(0.0, 1.0, 1)
+
+    def test_encode_integrates_to_one(self, rng):
+        g = HistogramGrid(0.8, 1.6, 40)
+        dens = g.encode(rng.normal(1.0, 0.05, size=1000))
+        assert dens.sum() * g.width == pytest.approx(1.0)
+
+    def test_out_of_range_mass_clipped_into_boundary_bins(self):
+        g = HistogramGrid(0.0, 1.0, 10)
+        dens = g.encode([-5.0, 5.0])
+        probs = dens * g.width
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[-1] == pytest.approx(0.5)
+        assert probs.sum() == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(0.5, 2.0), min_size=1, max_size=500))
+    @settings(max_examples=60, deadline=None)
+    def test_property_density_normalized(self, values):
+        g = HistogramGrid(0.8, 1.6, 20)
+        dens = g.encode(values)
+        assert dens.sum() * g.width == pytest.approx(1.0)
+        assert np.all(dens >= 0.0)
+
+
+class TestDensityHistogram:
+    def test_negative_predictions_clipped(self):
+        g = HistogramGrid(0.0, 1.0, 4)
+        h = DensityHistogram(g, np.array([-1.0, 2.0, 2.0, -3.0]))
+        assert np.all(h.density >= 0.0)
+        assert h.probabilities.sum() == pytest.approx(1.0)
+
+    def test_all_zero_prediction_degrades_to_uniform(self):
+        g = HistogramGrid(0.0, 1.0, 4)
+        h = DensityHistogram(g, np.zeros(4))
+        assert np.allclose(h.density, 1.0)
+
+    def test_wrong_length_rejected(self):
+        g = HistogramGrid(0.0, 1.0, 4)
+        with pytest.raises(ValidationError):
+            DensityHistogram(g, np.ones(5))
+
+    def test_cdf_endpoints(self, rng):
+        g = HistogramGrid(0.8, 1.6, 40)
+        h = g.histogram(rng.normal(1.1, 0.05, 500))
+        assert h.cdf(0.7) == 0.0
+        assert h.cdf(1.7) == 1.0
+        c = h.cdf(np.linspace(0.8, 1.6, 100))
+        assert np.all(np.diff(c) >= -1e-12)
+
+    def test_sampling_reproduces_distribution(self, rng):
+        g = HistogramGrid(0.8, 1.6, 40)
+        data = rng.normal(1.1, 0.06, size=5000)
+        h = g.histogram(data)
+        s = h.sample(20_000, rng=rng)
+        assert s.mean() == pytest.approx(data.mean(), abs=0.01)
+        assert s.std() == pytest.approx(data.std(), abs=0.02)
+        assert np.all((s >= 0.8) & (s <= 1.6))
+
+    def test_sample_requires_positive_n(self, rng):
+        g = HistogramGrid(0.0, 1.0, 4)
+        h = DensityHistogram(g, np.ones(4))
+        with pytest.raises(ValidationError):
+            h.sample(0, rng=rng)
+
+    def test_mean_of_symmetric_histogram(self):
+        g = HistogramGrid(0.0, 1.0, 4)
+        h = DensityHistogram(g, np.ones(4))
+        assert h.mean() == pytest.approx(0.5)

@@ -1,0 +1,76 @@
+"""Tests for Gaussian KDE."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.errors import ValidationError
+from repro.stats.kde import GaussianKDE, scott_bandwidth, silverman_bandwidth
+
+
+class TestBandwidthRules:
+    def test_silverman_smaller_than_scott(self, rng):
+        x = rng.normal(size=100)
+        assert silverman_bandwidth(x) == pytest.approx(0.9 * scott_bandwidth(x) / 1.0, rel=1e-9)
+
+    def test_constant_sample_gets_tiny_positive_bandwidth(self):
+        bw = silverman_bandwidth([5.0] * 20)
+        assert bw > 0.0
+        assert bw < 1e-3
+
+    def test_outlier_robustness(self, rng):
+        x = np.concatenate([rng.normal(size=500), [1e6]])
+        # IQR-based spread keeps bandwidth sane despite the huge outlier.
+        assert silverman_bandwidth(x) < 1.0
+
+
+class TestGaussianKDE:
+    def test_pdf_integrates_to_one(self, rng):
+        kde = GaussianKDE.fit(rng.normal(size=400))
+        g = kde.grid(512, pad=6.0)
+        total = np.trapezoid(kde.pdf(g), g)
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_matches_scipy_gaussian_kde(self, rng):
+        x = rng.normal(size=300)
+        ours = GaussianKDE.fit(x, bandwidth=0.3)
+        ref = sps.gaussian_kde(x, bw_method=0.3 / x.std(ddof=1))
+        g = np.linspace(-3, 3, 50)
+        assert np.allclose(ours.pdf(g), ref(g), rtol=0.02, atol=1e-3)
+
+    def test_cdf_limits(self, rng):
+        kde = GaussianKDE.fit(rng.normal(size=100))
+        assert kde.cdf(-100.0)[0] == pytest.approx(0.0, abs=1e-10)
+        assert kde.cdf(100.0)[0] == pytest.approx(1.0, abs=1e-10)
+
+    def test_cdf_monotone(self, rng):
+        kde = GaussianKDE.fit(rng.exponential(size=200))
+        g = np.linspace(-1, 10, 300)
+        assert np.all(np.diff(kde.cdf(g)) >= -1e-12)
+
+    def test_sampling_recovers_mean(self, rng):
+        kde = GaussianKDE.fit(rng.normal(3.0, 0.5, size=1000))
+        s = kde.sample(50_000, rng=rng)
+        assert s.mean() == pytest.approx(3.0, abs=0.02)
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ValidationError):
+            GaussianKDE.fit([1.0, 2.0], bandwidth=0.0)
+        with pytest.raises(ValidationError):
+            GaussianKDE.fit([1.0, 2.0], bandwidth="unknown-rule")
+
+    def test_sample_positive_n(self, rng):
+        kde = GaussianKDE.fit([1.0, 2.0])
+        with pytest.raises(ValidationError):
+            kde.sample(0, rng=rng)
+
+    def test_bimodal_density_has_two_peaks(self, rng):
+        x = np.concatenate([rng.normal(0, 0.1, 500), rng.normal(2, 0.1, 500)])
+        kde = GaussianKDE.fit(x)
+        g, d = kde.evaluate_on_grid(400)
+        # density at the modes dwarfs density at the valley
+        valley = d[np.argmin(np.abs(g - 1.0))]
+        peak0 = d[np.argmin(np.abs(g - 0.0))]
+        peak2 = d[np.argmin(np.abs(g - 2.0))]
+        assert peak0 > 5 * valley
+        assert peak2 > 5 * valley

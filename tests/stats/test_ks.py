@@ -1,0 +1,103 @@
+"""Tests for KS statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+from scipy import stats as sps
+
+from repro.errors import ValidationError
+from repro.stats.ks import (
+    kolmogorov_sf,
+    ks_2samp,
+    ks_against_cdf,
+    ks_against_grid_cdf,
+    ks_statistic,
+)
+
+
+class TestTwoSample:
+    def test_identical_samples_zero(self, rng):
+        x = rng.normal(size=500)
+        assert ks_statistic(x, x) == 0.0
+
+    def test_disjoint_samples_one(self):
+        assert ks_statistic([1.0, 2.0], [10.0, 11.0]) == 1.0
+
+    def test_matches_scipy(self, rng):
+        a = rng.normal(size=400)
+        b = rng.normal(0.3, 1.2, size=300)
+        ours = ks_2samp(a, b)
+        ref = sps.ks_2samp(a, b, method="asymp")
+        assert ours.statistic == pytest.approx(ref.statistic, abs=1e-12)
+        assert ours.pvalue == pytest.approx(ref.pvalue, abs=0.02)
+
+    def test_symmetry(self, rng):
+        a = rng.normal(size=100)
+        b = rng.exponential(size=150)
+        assert ks_statistic(a, b) == pytest.approx(ks_statistic(b, a))
+
+    @given(
+        arrays(np.float64, st.integers(2, 80), elements=st.floats(-100, 100)),
+        arrays(np.float64, st.integers(2, 80), elements=st.floats(-100, 100)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_bounds_and_symmetry(self, a, b):
+        d = ks_statistic(a, b)
+        assert 0.0 <= d <= 1.0
+        assert d == pytest.approx(ks_statistic(b, a))
+
+    def test_ties_handled(self):
+        # Heavy ties should still produce exact ECDF comparison.
+        a = [1.0, 1.0, 1.0, 2.0]
+        b = [1.0, 2.0, 2.0, 2.0]
+        # F_a(1) = 0.75, F_b(1) = 0.25 -> D = 0.5
+        assert ks_statistic(a, b) == pytest.approx(0.5)
+
+
+class TestOneSample:
+    def test_matches_scipy_kstest(self, rng):
+        x = rng.normal(size=500)
+        ours = ks_against_cdf(x, sps.norm.cdf)
+        ref = sps.kstest(x, "norm")
+        assert ours.statistic == pytest.approx(ref.statistic, abs=1e-12)
+
+    def test_bad_cdf_rejected(self):
+        with pytest.raises(ValidationError):
+            ks_against_cdf([0.1, 0.2], lambda x: x * 100.0)
+
+    def test_grid_cdf_interpolation(self, rng):
+        x = rng.uniform(0, 1, size=2000)
+        grid = np.linspace(-0.5, 1.5, 401)
+        cdf = np.clip(grid, 0.0, 1.0)
+        res = ks_against_grid_cdf(x, grid, cdf)
+        assert res.statistic < 0.05
+
+    def test_grid_must_increase(self):
+        with pytest.raises(ValidationError):
+            ks_against_grid_cdf([0.5], [0.0, 0.0, 1.0], [0.0, 0.5, 1.0])
+
+    def test_grid_cdf_monotone_repair(self, rng):
+        x = rng.uniform(0, 1, 100)
+        grid = np.linspace(0, 1, 11)
+        cdf = np.linspace(0, 1, 11)
+        cdf[5] = cdf[4] - 1e-6  # tiny numerical dip
+        res = ks_against_grid_cdf(x, grid, cdf)
+        assert 0.0 <= res.statistic <= 1.0
+
+
+class TestKolmogorovSF:
+    def test_limits(self):
+        assert kolmogorov_sf(0.0) == 1.0
+        assert kolmogorov_sf(-1.0) == 1.0
+        assert kolmogorov_sf(10.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_matches_scipy(self):
+        for t in [0.5, 0.8, 1.0, 1.5, 2.0]:
+            assert kolmogorov_sf(t) == pytest.approx(sps.kstwobign.sf(t), abs=1e-8)
+
+    def test_monotone_decreasing(self):
+        ts = np.linspace(0.1, 3.0, 50)
+        vals = [kolmogorov_sf(t) for t in ts]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))

@@ -1,0 +1,96 @@
+"""Tests for KDE-based mode detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.stats.modes import Mode, find_modes, mode_agreement
+
+
+class TestFindModes:
+    def test_unimodal_normal(self, rng):
+        modes = find_modes(rng.normal(1.0, 0.05, size=2000))
+        assert len(modes) == 1
+        assert modes[0].location == pytest.approx(1.0, abs=0.01)
+        assert modes[0].mass == pytest.approx(1.0, abs=0.05)
+
+    def test_clear_bimodal(self, rng):
+        x = np.concatenate(
+            [rng.normal(0.95, 0.01, 700), rng.normal(1.12, 0.01, 300)]
+        )
+        modes = find_modes(x)
+        assert len(modes) == 2
+        assert modes[0].location == pytest.approx(0.95, abs=0.02)
+        assert modes[1].location == pytest.approx(1.12, abs=0.02)
+        # Mass ratio roughly 70/30 and sorted by location.
+        assert modes[0].mass == pytest.approx(0.7, abs=0.1)
+        assert modes[1].mass == pytest.approx(0.3, abs=0.1)
+
+    def test_trimodal(self, rng):
+        x = np.concatenate(
+            [
+                rng.normal(0.9, 0.008, 400),
+                rng.normal(1.0, 0.008, 400),
+                rng.normal(1.1, 0.008, 400),
+            ]
+        )
+        assert len(find_modes(x)) == 3
+
+    def test_tiny_spike_not_a_mode(self, rng):
+        """A 1% daemon-tail cluster is filtered by min_mass."""
+        x = np.concatenate(
+            [rng.normal(1.0, 0.01, 990), rng.normal(1.3, 0.002, 10)]
+        )
+        modes = find_modes(x, min_mass=0.03)
+        assert len(modes) == 1
+
+    def test_masses_sum_to_one(self, rng):
+        x = np.concatenate([rng.normal(0.95, 0.01, 500), rng.normal(1.1, 0.02, 500)])
+        modes = find_modes(x)
+        assert sum(m.mass for m in modes) == pytest.approx(1.0, abs=1e-6)
+
+    def test_modes_sorted_by_location(self, rng):
+        x = np.concatenate([rng.normal(1.2, 0.01, 500), rng.normal(0.9, 0.01, 500)])
+        modes = find_modes(x)
+        locs = [m.location for m in modes]
+        assert locs == sorted(locs)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValidationError):
+            find_modes([1.0])
+
+    def test_376_is_bimodal_on_substrate(self):
+        from repro.simbench import run_campaign
+
+        rel = run_campaign("spec_omp/376", "intel", 1000).relative_times()
+        modes = find_modes(rel)
+        assert len(modes) >= 2
+        # Larger mode is the faster one (paper Fig. 1).
+        biggest = max(modes, key=lambda m: m.mass)
+        assert biggest.location == min(m.location for m in modes)
+
+
+class TestModeAgreement:
+    def test_identical_samples_agree(self, rng):
+        x = np.concatenate([rng.normal(0.95, 0.01, 600), rng.normal(1.1, 0.01, 400)])
+        agr = mode_agreement(x, x)
+        assert agr.count_match
+        assert agr.location_error == pytest.approx(0.0, abs=1e-9)
+        assert agr.mass_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_shifted_prediction_reports_location_error(self, rng):
+        a = rng.normal(1.0, 0.02, 1000)
+        b = rng.normal(1.05, 0.02, 1000)
+        agr = mode_agreement(a, b)
+        assert agr.count_match
+        assert agr.location_error == pytest.approx(0.05, abs=0.01)
+
+    def test_missed_mode_detected(self, rng):
+        measured = np.concatenate(
+            [rng.normal(0.95, 0.008, 600), rng.normal(1.1, 0.008, 400)]
+        )
+        predicted = rng.normal(1.0, 0.05, 1000)  # unimodal blur
+        agr = mode_agreement(measured, predicted)
+        assert not agr.count_match
+        assert agr.n_measured == 2
+        assert agr.n_predicted == 1

@@ -1,0 +1,173 @@
+"""Tests for repro.stats.moments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import MomentError
+from repro.stats.moments import (
+    KURTOSIS_MARGIN,
+    MomentVector,
+    central_moments,
+    check_feasible,
+    is_feasible,
+    moment_matrix,
+    moment_vector,
+    nearest_feasible,
+    standardized_moments,
+)
+
+finite_samples = arrays(
+    np.float64,
+    st.integers(min_value=3, max_value=200),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+
+class TestCentralMoments:
+    def test_normal_sample_matches_numpy(self, rng):
+        x = rng.normal(5.0, 2.0, size=10_000)
+        m = central_moments(x, 4)
+        assert m[0] == pytest.approx(1.0)
+        assert m[1] == pytest.approx(0.0, abs=1e-12)
+        assert m[2] == pytest.approx(x.var(), rel=1e-12)
+
+    def test_order_zero(self):
+        assert central_moments([1.0, 2.0], 0).tolist() == [1.0]
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(MomentError):
+            central_moments([1.0, 2.0], -1)
+
+    def test_constant_sample(self):
+        m = central_moments([3.0, 3.0, 3.0], 4)
+        assert np.allclose(m[1:], 0.0)
+
+    @given(finite_samples)
+    @settings(max_examples=50, deadline=None)
+    def test_first_central_moment_always_zero(self, x):
+        m = central_moments(x, 2)
+        scale = max(1.0, np.abs(x).max())
+        assert abs(m[1]) <= 1e-7 * scale
+
+
+class TestStandardizedMoments:
+    def test_normal_has_kurt_three(self, rng):
+        x = rng.normal(size=200_000)
+        s = standardized_moments(x, 4)
+        assert s[3] == pytest.approx(0.0, abs=0.05)
+        assert s[4] == pytest.approx(3.0, abs=0.1)
+
+    def test_degenerate_sample_conventions(self):
+        s = standardized_moments([2.0, 2.0, 2.0], 4)
+        assert s[3] == 0.0
+        assert s[4] == 3.0
+
+    def test_second_standardized_moment_is_one(self, rng):
+        x = rng.exponential(size=500)
+        s = standardized_moments(x, 4)
+        assert s[2] == pytest.approx(1.0)
+
+
+class TestMomentVector:
+    def test_roundtrip_array(self):
+        mv = MomentVector(1.0, 0.1, 0.5, 3.5)
+        assert MomentVector.from_array(mv.as_array()) == mv
+
+    def test_from_array_wrong_size(self):
+        with pytest.raises(MomentError):
+            MomentVector.from_array([1.0, 2.0])
+
+    def test_from_samples_exponential(self, rng):
+        x = rng.exponential(size=300_000)
+        mv = MomentVector.from_samples(x)
+        assert mv.mean == pytest.approx(1.0, rel=0.02)
+        assert mv.std == pytest.approx(1.0, rel=0.02)
+        assert mv.skew == pytest.approx(2.0, rel=0.1)
+        assert mv.kurt == pytest.approx(9.0, rel=0.15)
+
+    def test_constant_samples_feasible(self):
+        mv = moment_vector([4.0] * 10)
+        assert mv.std == 0.0
+        assert mv.is_feasible()
+
+    def test_feasible_projection(self):
+        bad = MomentVector(1.0, 0.1, 2.0, 3.0)  # kurt < skew^2+1
+        assert not bad.is_feasible()
+        good = bad.feasible()
+        assert good.is_feasible()
+        assert good.mean == bad.mean
+        assert good.skew == bad.skew
+
+    @given(finite_samples)
+    @settings(max_examples=80, deadline=None)
+    def test_sample_moments_always_feasible(self, x):
+        """Any real sample's (skew, kurt) satisfies kurt >= skew^2 + 1."""
+        mv = moment_vector(x)
+        if mv.std > 1e-9 * max(1.0, np.abs(x).max()):
+            assert mv.kurt >= mv.skew**2 + 1.0 - 1e-6
+
+
+class TestMomentMatrix:
+    def test_matches_row_wise_moment_vector(self, rng):
+        X = rng.normal(size=(5, 400)) * rng.uniform(0.5, 2.0, size=(5, 1))
+        M = moment_matrix(X)
+        for i in range(5):
+            mv = moment_vector(X[i])
+            assert np.allclose(M[i], mv.as_array(), rtol=1e-10)
+
+    def test_degenerate_rows(self):
+        X = np.ones((2, 10))
+        M = moment_matrix(X)
+        assert np.allclose(M[:, 0], 1.0)
+        assert np.allclose(M[:, 1], 0.0)
+        assert np.allclose(M[:, 3], 3.0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(MomentError):
+            moment_matrix(np.ones(5))
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize(
+        "skew,kurt,ok",
+        [
+            (0.0, 3.0, True),
+            (0.0, 1.0, True),
+            (0.0, 0.99, False),
+            (2.0, 5.0, True),  # boundary kurt == skew^2+1 (two-point dist)
+            (2.0, 4.99, False),
+            (-1.5, 3.25, True),
+        ],
+    )
+    def test_boundary(self, skew, kurt, ok):
+        assert is_feasible(skew, kurt) is ok
+
+    def test_check_raises(self):
+        with pytest.raises(MomentError):
+            check_feasible(3.0, 3.0)
+
+    def test_nearest_feasible_clips_kurtosis(self):
+        mean, std, skew, kurt = nearest_feasible(1.0, 0.1, 1.0, 1.5)
+        assert kurt == pytest.approx(2.0 + KURTOSIS_MARGIN)
+        assert (mean, std, skew) == (1.0, 0.1, 1.0)
+
+    def test_nearest_feasible_handles_nan(self):
+        _, std, skew, kurt = nearest_feasible(1.0, -0.5, np.nan, np.inf)
+        assert std == 0.0
+        assert skew == 0.0
+        assert is_feasible(skew, kurt)
+
+    @given(
+        st.floats(-10, 10, allow_nan=False),
+        st.floats(0, 5, allow_nan=False),
+        st.floats(-20, 20, allow_nan=False),
+        st.floats(-50, 50, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_projection_always_feasible(self, mean, std, skew, kurt):
+        _, s, g, k = nearest_feasible(mean, std, skew, kurt)
+        assert s >= 0.0
+        assert is_feasible(g, k)

@@ -1,0 +1,156 @@
+"""Tests for the Pearson system (pearsrnd replacement)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MomentError
+from repro.stats.moments import moment_vector
+from repro.stats.pearson import (
+    PearsonDistribution,
+    classify_pearson,
+    pearson_system,
+    pearsrnd,
+)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "skew,kurt,expected",
+        [
+            (0.0, 3.0, 0),  # normal
+            (0.5, 2.8, 1),  # beta region (kappa < 0)
+            (0.0, 2.2, 2),  # symmetric beta
+            (1.0, 4.5, 3),  # exactly on the gamma line 1.5*skew^2+3
+            (1.0, 5.5, 4),  # between gamma line and type VI
+            (1.5, 8.0, 4),
+            (0.0, 4.5, 7),  # Student t
+        ],
+    )
+    def test_known_regions(self, skew, kurt, expected):
+        assert classify_pearson(skew, kurt) == expected
+
+    def test_type5_on_boundary(self):
+        # Construct a point on the kappa == 1 line numerically: for given
+        # skew, find kurt where c1^2 == 4*c0*c2.
+        skew = 1.0
+        from scipy.optimize import brentq
+
+        def kappa_minus_one(kurt):
+            b1 = skew**2
+            c0 = 4 * kurt - 3 * b1
+            c1 = skew * (kurt + 3)
+            c2 = 2 * kurt - 3 * b1 - 6
+            return c1**2 / (4 * c0 * c2) - 1.0
+
+        kurt5 = brentq(kappa_minus_one, 4.51, 30.0)
+        assert classify_pearson(skew, kurt5) == 5
+
+    def test_type6_region(self):
+        # kappa > 1 requires strong skew relative to kurtosis.
+        assert classify_pearson(2.0, 12.0) == 6
+
+    def test_infeasible_raises(self):
+        with pytest.raises(MomentError):
+            classify_pearson(2.0, 3.0)
+
+
+MOMENT_CASES = [
+    (1.0, 0.05, 0.0, 3.0),  # type 0
+    (1.0, 0.05, 0.5, 2.8),  # type 1
+    (1.0, 0.05, -0.8, 3.2),  # type 1 mirrored
+    (1.0, 0.05, 0.0, 2.2),  # type 2
+    (1.0, 0.05, 2.0, 9.0),  # type 3
+    (1.0, 0.05, -2.0, 9.0),  # type 3 mirrored
+    (1.0, 0.05, 1.0, 5.5),  # type 4
+    (1.0, 0.05, -1.5, 8.0),  # type 4 negative skew
+    (1.0, 0.05, 2.0, 12.0),  # type 6
+    (1.0, 0.05, -2.0, 12.0),  # type 6 mirrored
+    (1.0, 0.05, 0.0, 4.5),  # type 7
+    (10.0, 2.0, 0.7, 4.0),  # different location/scale
+]
+
+
+class TestMomentMatching:
+    @pytest.mark.parametrize("mean,std,skew,kurt", MOMENT_CASES)
+    def test_sample_moments_match(self, mean, std, skew, kurt, rng):
+        x = pearsrnd(mean, std, skew, kurt, 300_000, rng)
+        mv = moment_vector(x)
+        assert mv.mean == pytest.approx(mean, abs=0.01 * std + 1e-12)
+        assert mv.std == pytest.approx(std, rel=0.02)
+        # Tolerances widen with tail weight: sample skew/kurt estimators
+        # are themselves heavy-tailed for leptokurtic targets.
+        skew_tol = 0.12 if kurt < 8 else 0.3
+        kurt_rel = 0.12 if kurt < 8 else 0.3
+        assert mv.skew == pytest.approx(skew, abs=skew_tol)
+        assert mv.kurt == pytest.approx(kurt, rel=kurt_rel)
+
+    @pytest.mark.parametrize("mean,std,skew,kurt", MOMENT_CASES)
+    def test_cdf_is_monotone_and_normalized(self, mean, std, skew, kurt):
+        dist = pearson_system(mean, std, skew, kurt)
+        x = np.linspace(mean - 8 * std, mean + 8 * std, 200)
+        c = dist.cdf(x)
+        assert np.all(np.diff(c) >= -1e-9)
+        assert c[0] <= 0.05
+        assert c[-1] >= 0.9  # heavy-tailed types keep a little tail mass
+
+    def test_zero_std_point_mass(self, rng):
+        dist = pearson_system(2.0, 0.0, 0.0, 3.0)
+        x = dist.rvs(100, random_state=rng)
+        assert np.all(x == 2.0)
+        assert dist.cdf([1.9, 2.0, 2.1]).tolist() == [0.0, 1.0, 1.0]
+
+    def test_infeasible_projected_by_default(self, rng):
+        # kurt < skew^2 + 1 must be projected, not raise.
+        dist = pearson_system(1.0, 0.1, 2.0, 2.0)
+        x = dist.rvs(10_000, random_state=rng)
+        assert np.isfinite(x).all()
+
+    def test_infeasible_raises_without_projection(self):
+        with pytest.raises(MomentError):
+            pearson_system(1.0, 0.1, 2.0, 2.0, project=False)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(MomentError):
+            pearson_system(1.0, -0.5, 0.0, 3.0, project=False)
+
+
+class TestPearsonIVInternals:
+    def test_pdf_integrates_to_one(self):
+        dist = pearson_system(0.0, 1.0, 1.0, 5.5)
+        assert dist.pearson_type == 4
+        x = np.linspace(-30, 30, 20001)
+        total = np.trapezoid(dist.pdf(x), x)
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_pdf_matches_cdf_derivative(self):
+        dist = pearson_system(0.0, 1.0, 1.2, 6.0)
+        x = np.linspace(-5, 5, 2001)
+        c = dist.cdf(x)
+        dc = np.gradient(c, x)
+        p = dist.pdf(x)
+        assert np.allclose(dc, p, atol=5e-3)
+
+
+class TestDeterminism:
+    def test_same_seed_same_sample(self):
+        a = pearsrnd(1.0, 0.1, 0.5, 4.0, 100, np.random.default_rng(5))
+        b = pearsrnd(1.0, 0.1, 0.5, 4.0, 100, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+
+@given(
+    skew=st.floats(-2.0, 2.0, allow_nan=False),
+    excess=st.floats(0.1, 6.0, allow_nan=False),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_any_feasible_moment_pair_samples_finite(skew, excess):
+    """Every feasible (skew, kurt) yields a finite sampler with roughly
+    correct first two moments."""
+    kurt = skew * skew + 1.0 + excess
+    rng = np.random.default_rng(99)
+    x = pearsrnd(1.0, 0.1, skew, kurt, 20_000, rng)
+    assert np.isfinite(x).all()
+    assert abs(x.mean() - 1.0) < 0.05
+    assert abs(x.std() - 0.1) < 0.05

@@ -1,0 +1,66 @@
+"""Edge-case tests for the Pearson system beyond the main matrix."""
+
+import numpy as np
+import pytest
+
+from repro.stats.moments import moment_vector
+from repro.stats.pearson import classify_pearson, pearson_system, pearsrnd
+
+
+class TestBoundaryGeometry:
+    def test_near_normal_neighborhood_stable(self, rng):
+        """Tiny perturbations around (0, 3) must not flip into wild types
+        or produce discontinuous samples."""
+        base = pearsrnd(1.0, 0.1, 0.0, 3.0, 50_000, np.random.default_rng(0))
+        for eps_s, eps_k in [(1e-4, 0.0), (0.0, 1e-4), (-1e-4, -1e-4)]:
+            x = pearsrnd(1.0, 0.1, eps_s, 3.0 + eps_k, 50_000, np.random.default_rng(0))
+            assert abs(x.mean() - base.mean()) < 5e-3
+            assert abs(x.std() - base.std()) < 5e-3
+
+    def test_type5_boundary_sampling(self, rng):
+        """Exactly on the kappa == 1 line (inverse-gamma)."""
+        from scipy.optimize import brentq
+
+        skew = 1.2
+
+        def kappa_minus_one(kurt):
+            b1 = skew**2
+            c0 = 4 * kurt - 3 * b1
+            c1 = skew * (kurt + 3)
+            c2 = 2 * kurt - 3 * b1 - 6
+            return c1**2 / (4 * c0 * c2) - 1.0
+
+        kurt5 = brentq(kappa_minus_one, 1.5 * skew**2 + 3.01, 60.0)
+        assert classify_pearson(skew, kurt5) == 5
+        x = pearsrnd(1.0, 0.05, skew, kurt5, 300_000, rng)
+        mv = moment_vector(x)
+        assert mv.std == pytest.approx(0.05, rel=0.05)
+        assert mv.skew == pytest.approx(skew, abs=0.2)
+
+    def test_extreme_narrow_scale(self, rng):
+        """Micro-scale std must not break the affine transport."""
+        x = pearsrnd(1.0, 1e-6, 0.5, 3.5, 100_000, rng)
+        assert x.mean() == pytest.approx(1.0, abs=1e-7)
+        assert x.std() == pytest.approx(1e-6, rel=0.05)
+
+    def test_large_location_offset(self, rng):
+        x = pearsrnd(1e6, 2.0, -0.5, 3.5, 100_000, rng)
+        assert x.mean() == pytest.approx(1e6, abs=0.1)
+        assert moment_vector(x).skew == pytest.approx(-0.5, abs=0.1)
+
+    def test_mirrored_types_are_exact_reflections(self):
+        """rvs with mirrored skew equals the reflection of the original
+        stream (same seed, scale negated)."""
+        d_pos = pearson_system(0.0, 1.0, 2.0, 9.0)  # type III
+        d_neg = pearson_system(0.0, 1.0, -2.0, 9.0)
+        a = d_pos.rvs(1000, random_state=np.random.default_rng(3))
+        b = d_neg.rvs(1000, random_state=np.random.default_rng(3))
+        assert np.allclose(a, -b, atol=1e-12)
+
+    def test_cdf_median_consistency(self, rng):
+        """CDF evaluated at the empirical median is ~0.5 for every type."""
+        for skew, kurt in [(0.0, 3.0), (0.5, 2.8), (1.0, 5.5), (2.0, 12.0), (0.0, 2.2)]:
+            d = pearson_system(1.0, 0.1, skew, kurt)
+            x = d.rvs(100_000, random_state=rng)
+            med = float(np.median(x))
+            assert d.cdf(med)[0] == pytest.approx(0.5, abs=0.02)

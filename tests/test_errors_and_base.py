@@ -1,0 +1,83 @@
+"""Tests for the exception hierarchy and estimator base plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConvergenceError,
+    MomentError,
+    NotFittedError,
+    ReconstructionError,
+    ReproError,
+    UnknownBenchmarkError,
+    UnknownSystemError,
+    ValidationError,
+)
+from repro.ml.base import Regressor, validate_fit_inputs
+from repro.ml.knn import KNNRegressor
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ValidationError,
+            NotFittedError,
+            MomentError,
+            ReconstructionError,
+            ConvergenceError,
+            UnknownBenchmarkError,
+            UnknownSystemError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_dual_inheritance_for_catching(self):
+        """Library errors are also catchable as their builtin kin."""
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(NotFittedError, RuntimeError)
+        assert issubclass(UnknownBenchmarkError, KeyError)
+
+    def test_moment_error_is_validation_error(self):
+        assert issubclass(MomentError, ValidationError)
+
+    def test_convergence_error_is_reconstruction_error(self):
+        assert issubclass(ConvergenceError, ReconstructionError)
+
+
+class TestValidateFitInputs:
+    def test_1d_target_promoted(self, rng):
+        X, y = validate_fit_inputs(rng.normal(size=(5, 2)), np.arange(5.0))
+        assert y.shape == (5, 1)
+
+    def test_3d_target_rejected(self, rng):
+        with pytest.raises(ValueError):
+            validate_fit_inputs(rng.normal(size=(5, 2)), np.zeros((5, 2, 2)))
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValidationError):
+            validate_fit_inputs(rng.normal(size=(5, 2)), np.zeros(4))
+
+    def test_nan_features_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_fit_inputs([[np.nan]], [1.0])
+
+
+class TestRegressorBase:
+    def test_get_params_reflects_constructor(self):
+        m = KNNRegressor(7, metric="euclidean", weights="distance")
+        params = m.get_params()
+        assert params == {"n_neighbors": 7, "metric": "euclidean", "weights": "distance"}
+
+    def test_clone_roundtrip(self, rng):
+        m = KNNRegressor(7, metric="euclidean")
+        m.fit(rng.normal(size=(10, 2)), rng.normal(size=10))
+        c = m.clone()
+        assert type(c) is type(m)
+        assert not c.is_fitted
+        c.fit(rng.normal(size=(10, 2)), rng.normal(size=10))
+        assert c.is_fitted
+
+    def test_is_fitted_flag(self, rng):
+        m = KNNRegressor(3)
+        assert not m.is_fitted
+        m.fit(rng.normal(size=(5, 2)), rng.normal(size=5))
+        assert m.is_fitted

@@ -1,0 +1,99 @@
+"""Tests for shared validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_float_array,
+    as_sample_array,
+    check_2d,
+    check_matching_length,
+    check_positive_int,
+    check_probability,
+    check_random_state,
+)
+from repro.errors import ValidationError
+
+
+class TestAsFloatArray:
+    def test_passthrough_is_view(self):
+        x = np.ones(3)
+        assert as_float_array(x) is x
+
+    def test_converts_lists(self):
+        out = as_float_array([1, 2, 3])
+        assert out.dtype == np.float64
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            as_float_array([1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            as_float_array([np.inf])
+
+    def test_empty_policy(self):
+        assert as_float_array([]).size == 0
+        with pytest.raises(ValidationError):
+            as_float_array([], allow_empty=False)
+
+
+class TestAsSampleArray:
+    def test_scalar_promoted(self):
+        assert as_sample_array(3.0).shape == (1,)
+
+    def test_min_size(self):
+        with pytest.raises(ValidationError):
+            as_sample_array([1.0], min_size=2)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValidationError):
+            as_sample_array(np.ones((2, 2)))
+
+
+class TestCheck2D:
+    def test_1d_promoted_to_row(self):
+        assert check_2d([1.0, 2.0]).shape == (1, 2)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValidationError):
+            check_2d(np.ones((2, 2, 2)))
+
+
+class TestScalarChecks:
+    def test_positive_int(self):
+        assert check_positive_int(5, name="n") == 5
+        for bad in (0, -1, 2.5, True):
+            with pytest.raises(ValidationError):
+                check_positive_int(bad, name="n")
+
+    def test_probability(self):
+        assert check_probability(0.5, name="p") == 0.5
+        assert check_probability(1.0, name="p") == 1.0
+        with pytest.raises(ValidationError):
+            check_probability(1.0, name="p", inclusive=False)
+        with pytest.raises(ValidationError):
+            check_probability(-0.1, name="p")
+
+    def test_matching_length(self):
+        check_matching_length(np.ones(3), np.ones(3))
+        with pytest.raises(ValidationError):
+            check_matching_length(np.ones(3), np.ones(4))
+
+
+class TestRandomState:
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert check_random_state(g) is g
+
+    def test_int_and_none(self):
+        assert isinstance(check_random_state(5), np.random.Generator)
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_seed_sequence(self):
+        ss = np.random.SeedSequence(1)
+        assert isinstance(check_random_state(ss), np.random.Generator)
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            check_random_state("seed")

@@ -1,0 +1,68 @@
+"""Tests for terminal rendering."""
+
+import numpy as np
+import pytest
+
+from repro.viz.ascii import density_ascii, histogram_bar, overlay_ascii, violin_ascii
+
+
+class TestDensityAscii:
+    def test_contains_label_and_range(self, rng):
+        out = density_ascii(rng.normal(size=100), label="demo", width=40)
+        assert "demo" in out
+        assert "[" in out and "]" in out
+
+    def test_width_respected(self, rng):
+        out = density_ascii(rng.normal(size=50), width=30)
+        bar = out.split("[")[1].split("]")[1]
+        # bar sits between the two bracketed range markers
+        inner = out.split("] ")[1].split(" [")[0]
+        assert len(inner) == 30
+
+    def test_peak_at_mode(self, rng):
+        x = np.concatenate([np.full(900, 0.0), np.full(100, 10.0)]) + rng.normal(
+            scale=0.05, size=1000
+        )
+        out = density_ascii(x, width=50, x_range=(-1.0, 11.0))
+        inner = out.split("] ")[1].split(" [")[0]
+        # The full block must appear early (big mode at 0).
+        assert "█" in inner[:10]
+
+    def test_constant_sample_renders(self):
+        out = density_ascii([1.0] * 10)
+        assert isinstance(out, str)
+
+
+class TestOverlay:
+    def test_two_lines_shared_range(self, rng):
+        out = overlay_ascii(rng.normal(size=50), rng.normal(size=50) + 0.2, label="x")
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert "measured" in lines[0]
+        assert "predicted" in lines[1]
+        # Shared x-range annotations match (bars themselves differ).
+        lo0 = lines[0].split("[")[1].split("]")[0]
+        lo1 = lines[1].split("[")[1].split("]")[0]
+        hi0 = lines[0].rsplit("[", 1)[1]
+        hi1 = lines[1].rsplit("[", 1)[1]
+        assert (lo0, hi0) == (lo1, hi1)
+
+
+class TestViolin:
+    def test_one_line_per_group(self, rng):
+        groups = {"a": rng.normal(size=40), "b": rng.normal(size=40) + 1}
+        out = violin_ascii(groups, width=30)
+        lines = out.splitlines()
+        assert len(lines) == 3  # header + 2 groups
+        assert lines[1].startswith("a")
+        assert "mean=" in lines[1]
+
+    def test_explicit_range(self, rng):
+        out = violin_ascii({"g": rng.normal(size=30)}, value_range=(0.0, 1.0))
+        assert "0.000" in out
+
+
+class TestHistogramBar:
+    def test_renders(self, rng):
+        out = histogram_bar(rng.normal(size=200), bins=20, label="h")
+        assert out.startswith("h")

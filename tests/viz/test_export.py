@@ -1,0 +1,31 @@
+"""Tests for figure-series export."""
+
+import json
+
+import numpy as np
+
+from repro.data.table import ColumnTable
+from repro.viz.export import export_series, export_table
+
+
+class TestExportTable:
+    def test_csv_written(self, tmp_path):
+        t = ColumnTable({"a": [1, 2], "b": ["x", "y"]})
+        path = export_table(t, "mytable", tmp_path)
+        assert path.name == "mytable.csv"
+        assert path.read_text().startswith("a,b")
+
+
+class TestExportSeries:
+    def test_numpy_types_jsonable(self, tmp_path):
+        series = {
+            "grid": np.linspace(0, 1, 3),
+            "nested": {"value": np.float64(2.5), "count": np.int64(7)},
+            "list": [np.array([1.0, 2.0])],
+        }
+        path = export_series(series, "myseries", tmp_path)
+        data = json.loads(path.read_text())
+        assert data["grid"] == [0.0, 0.5, 1.0]
+        assert data["nested"]["value"] == 2.5
+        assert data["nested"]["count"] == 7
+        assert data["list"][0] == [1.0, 2.0]

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Final benchmark run: execute the full suite to a temp file, then
+# atomically install it as bench_output.txt only on completion.
+cd /root/repo
+python3 -m pytest benchmarks/ --benchmark-only 2>&1 | tee /tmp/bench_rerun.txt
+cp /tmp/bench_rerun.txt /root/repo/bench_output.txt
+echo "bench_output.txt updated: $(date)"
