@@ -1,8 +1,15 @@
 """Shared infrastructure for the figure-reproduction benchmarks.
 
 Every ``test_fig*``/``test_table*`` file regenerates one table or figure
-of the paper.  Campaign measurement is cached per session so the sweep
-cost is paid once.
+of the paper.  Campaign measurement goes through the persistent
+:class:`~repro.data.campaign_cache.CampaignCache`: the first session
+simulates and stores each campaign set; every later session (and every
+later call within a session, via the in-memory LRU tier) loads the
+bit-identical set from disk instead of re-simulating 60x1,000-run
+campaigns.
+
+The cache directory defaults to ``.repro_cache/`` at the repository root
+and can be redirected with ``REPRO_CACHE_DIR``.
 
 Scale is controlled by ``REPRO_BENCH_SCALE``:
 
@@ -19,12 +26,25 @@ from __future__ import annotations
 import os
 from functools import lru_cache
 
+from repro.data.campaign_cache import CampaignCache
 from repro.experiments.config import PAPER_CONFIG, ExperimentConfig
-from repro.experiments.usecase1 import measure_campaigns
+from repro.simbench.runner import cached_measure_all
 
-__all__ = ["bench_config", "intel_campaigns", "amd_campaigns", "RESULTS_DIR"]
+__all__ = [
+    "bench_config",
+    "campaign_cache",
+    "intel_campaigns",
+    "amd_campaigns",
+    "RESULTS_DIR",
+]
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_DIR = os.path.join(_REPO_ROOT, "results")
+
+#: Default on-disk cache location for benchmark sessions.
+CACHE_DIR = os.environ.get(
+    "REPRO_CACHE_DIR", os.path.join(_REPO_ROOT, ".repro_cache")
+)
 
 
 @lru_cache(maxsize=1)
@@ -41,12 +61,28 @@ def bench_config() -> ExperimentConfig:
 
 
 @lru_cache(maxsize=1)
+def campaign_cache() -> CampaignCache:
+    """The session's persistent campaign cache."""
+    return CampaignCache(CACHE_DIR)
+
+
+def _campaigns(system: str):
+    cfg = bench_config()
+    return cached_measure_all(
+        system,
+        benchmarks=cfg.benchmarks,
+        n_runs=cfg.n_runs,
+        root_seed=cfg.root_seed,
+        n_workers=cfg.n_workers,
+        cache=campaign_cache(),
+    )
+
+
 def intel_campaigns():
     """Cached Intel-system campaigns at the configured scale."""
-    return measure_campaigns(bench_config(), "intel")
+    return _campaigns("intel")
 
 
-@lru_cache(maxsize=1)
 def amd_campaigns():
     """Cached AMD-system campaigns at the configured scale."""
-    return measure_campaigns(bench_config(), "amd")
+    return _campaigns("amd")

@@ -1,0 +1,350 @@
+"""Shared-featurization LOGO evaluation engine (the grid hot path).
+
+The representation x model grids (paper Figs. 4 and 7) evaluate nine
+(representation, model) cells over the same campaign set.  The naive path
+rebuilds everything per cell: probe sampling, profile featurization,
+per-fold robust scalers and — when two representations encode targets
+identically — even the fitted fold models.  This module splits the work
+by what it actually depends on:
+
+* a **design** (:class:`FewRunsDesign` / :class:`CrossSystemDesign`)
+  holds everything derived from the campaign set alone: sampled probes,
+  profile-feature rows, group labels, measured relative times.  Built
+  once per grid, reused by all nine cells.
+* **target matrices** (and, for use case 2, design matrices) depend on
+  the representation's *encoding* only; they are cached per
+  :attr:`~repro.core.representations.DistributionRepresentation.encoding_key`,
+  so the two four-moment representations share one matrix.
+* **fold predictions** depend on (encoding, model).  The design memoizes
+  the per-fold predicted vectors under that pair, so e.g. the
+  ``pearsonrnd`` cells reuse the models fitted for ``pymaxent`` and pay
+  only for KS scoring.
+* per-fold **robust scalers** depend on the feature rows only, so use
+  case 1 shares them across all cells.
+
+Every cached artifact is a pure function of its key, which is what makes
+the sharing bit-identical to the naive per-cell recomputation: the same
+arrays flow into the same operations in the same order.
+
+Fold dispatch optionally fans out across processes via
+:func:`repro.parallel.parallel_map`.  Folds are independent by
+construction — each held-out benchmark refit consumes only per-fold
+inputs, and the KS-scoring RNG is keyed per benchmark with
+:func:`~repro.parallel.seeding.seed_for` — so worker count never changes
+results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_int, check_random_state
+from ..data.dataset import RunCampaign
+from ..errors import ValidationError
+from ..ml.base import Regressor
+from ..ml.scaling import RobustScaler
+from ..parallel.pool import parallel_map
+from ..parallel.seeding import seed_for
+from .features import FeatureConfig, profile_features
+from .representations import DistributionRepresentation
+
+__all__ = ["FewRunsDesign", "CrossSystemDesign", "logo_fold_vectors"]
+
+_PROBE_SEED = 909090
+
+
+def _fit_predict_fold(task) -> np.ndarray:
+    """Fit one LOGO fold and predict the held-out probe vector.
+
+    Top-level so it pickles for process-pool dispatch.  ``task`` is
+    ``(model, X_train_scaled, Y_train, x_probe_scaled)``; the clone makes
+    the fit independent of any sibling fold.
+    """
+    model, Xs, Ys, xp = task
+    return model.clone().fit(Xs, Ys).predict(xp)[0]
+
+
+def _wants_serial(model: Regressor) -> bool:
+    """Whether fold dispatch must stay serial to preserve results.
+
+    A stateful ``np.random.Generator`` on the model is advanced by each
+    successive fold in the serial path; pickling would hand every worker
+    the same generator state.  Registry models carry integer seeds and
+    parallelize freely.
+    """
+    return isinstance(getattr(model, "rng", None), np.random.Generator)
+
+
+def logo_fold_vectors(
+    X: np.ndarray,
+    Y: np.ndarray,
+    groups: np.ndarray,
+    probe_features: dict[str, np.ndarray],
+    model: Regressor,
+    *,
+    n_workers: int = 1,
+    scaled_folds: dict | None = None,
+) -> dict[str, np.ndarray]:
+    """Predicted representation vector per held-out benchmark.
+
+    For every benchmark name in ``probe_features`` (sorted), fit
+    ``model`` on the rows of all *other* groups (robust-scaled) and
+    predict the benchmark's probe vector.  Returns name -> vector.
+
+    ``scaled_folds`` optionally caches the per-fold scaler products
+    ``(X_train_scaled, x_probe_scaled, train_mask)`` keyed by benchmark;
+    they depend only on ``(X, probe_features)``, so a grid sweep can
+    share them across every (representation, model) cell with the same
+    feature rows.
+
+    Results are bit-identical for any ``n_workers``: each fold consumes
+    only its own inputs and a deterministic model clone.
+    """
+    names = sorted(probe_features)
+    folds = []
+    for bench in names:
+        cached = None if scaled_folds is None else scaled_folds.get(bench)
+        if cached is None:
+            mask = groups != bench
+            scaler = RobustScaler().fit(X[mask])
+            cached = (
+                scaler.transform(X[mask]),
+                scaler.transform(probe_features[bench][None, :]),
+                mask,
+            )
+            if scaled_folds is not None:
+                scaled_folds[bench] = cached
+        folds.append(cached)
+    tasks = [(model, Xs, Y[mask], xp) for Xs, xp, mask in folds]
+    if n_workers == 1 or _wants_serial(model):
+        vectors = [_fit_predict_fold(t) for t in tasks]
+    else:
+        vectors = parallel_map(_fit_predict_fold, tasks, n_workers=n_workers)
+    return dict(zip(names, vectors))
+
+
+class _VectorCacheMixin:
+    """Memoized (encoding, model) -> fold-prediction vectors."""
+
+    def __init__(self) -> None:
+        self._fold_vectors: dict[tuple[str, str], dict[str, np.ndarray]] = {}
+
+    def fold_vectors(
+        self,
+        model: Regressor,
+        representation: DistributionRepresentation,
+        *,
+        model_key: str | None = None,
+        n_workers: int = 1,
+    ) -> dict[str, np.ndarray]:
+        """Per-benchmark fold predictions, cached by (model, encoding).
+
+        ``model_key`` must identify the model's hyperparameters (the
+        registry name does); pass ``None`` for ad-hoc model instances to
+        bypass the cache.
+        """
+        key = None
+        if model_key is not None:
+            key = (model_key, representation.encoding_key)
+            hit = self._fold_vectors.get(key)
+            if hit is not None:
+                return hit
+        vectors = self._compute_fold_vectors(
+            model, representation, n_workers=n_workers
+        )
+        if key is not None:
+            self._fold_vectors[key] = vectors
+        return vectors
+
+    def _compute_fold_vectors(self, model, representation, *, n_workers):
+        raise NotImplementedError
+
+
+class FewRunsDesign(_VectorCacheMixin):
+    """Use-case-1 featurization, shared across a grid of cells.
+
+    Construction performs all representation-independent work: training
+    probes are sampled and profiled into the feature matrix ``X`` (with
+    ``groups`` labels), evaluation probes are profiled per benchmark,
+    and measured relative-time distributions are extracted.  Identical,
+    row for row, to what :func:`repro.core.predictors.build_few_runs_rows`
+    plus the evaluation-probe loop produce.
+    """
+
+    def __init__(
+        self,
+        campaigns: dict[str, RunCampaign],
+        *,
+        n_probe_runs: int = 10,
+        n_replicas: int = 8,
+        feature_config: FeatureConfig | None = None,
+        seed: int = _PROBE_SEED,
+    ) -> None:
+        super().__init__()
+        check_positive_int(n_probe_runs, name="n_probe_runs")
+        check_positive_int(n_replicas, name="n_replicas")
+        self.n_probe_runs = n_probe_runs
+        self.n_replicas = n_replicas
+        self.seed = seed
+        self.names: list[str] = sorted(campaigns)
+        cfg = feature_config or FeatureConfig()
+
+        rows_x, groups = [], []
+        self.measured: dict[str, np.ndarray] = {}
+        self.probe_features: dict[str, np.ndarray] = {}
+        for name in self.names:
+            campaign = campaigns[name]
+            if campaign.n_runs < n_probe_runs:
+                raise ValidationError(
+                    f"{name} has {campaign.n_runs} runs < n_probe_runs={n_probe_runs}"
+                )
+            rng = check_random_state(seed_for(seed, "probe", name, str(n_probe_runs)))
+            for _ in range(n_replicas):
+                probe = campaign.sample_runs(n_probe_runs, rng)
+                rows_x.append(profile_features(probe, cfg))
+                groups.append(name)
+            eval_rng = check_random_state(
+                seed_for(seed, "eval-probe", name, str(n_probe_runs))
+            )
+            eval_probe = campaign.sample_runs(n_probe_runs, eval_rng)
+            self.probe_features[name] = profile_features(eval_probe, cfg)
+            self.measured[name] = campaign.relative_times()
+        self.X = np.asarray(rows_x)
+        self.groups = np.asarray(groups)
+        self._targets: dict[str, np.ndarray] = {}
+        self._scaled_folds: dict = {}
+
+    def target_matrix(self, representation: DistributionRepresentation) -> np.ndarray:
+        """Encoded full-distribution targets, one row per training row.
+
+        Cached per encoding key — the two moment representations share
+        one matrix.
+        """
+        key = representation.encoding_key
+        Y = self._targets.get(key)
+        if Y is None:
+            rows = []
+            for name in self.names:
+                target = representation.encode(self.measured[name])
+                rows.extend([target] * self.n_replicas)
+            Y = np.asarray(rows)
+            self._targets[key] = Y
+        return Y
+
+    def rows(self, representation: DistributionRepresentation):
+        """(X, Y, groups) — bit-identical to ``build_few_runs_rows``."""
+        return self.X, self.target_matrix(representation), self.groups
+
+    def _compute_fold_vectors(self, model, representation, *, n_workers):
+        return logo_fold_vectors(
+            self.X,
+            self.target_matrix(representation),
+            self.groups,
+            self.probe_features,
+            model,
+            n_workers=n_workers,
+            scaled_folds=self._scaled_folds,
+        )
+
+
+class CrossSystemDesign(_VectorCacheMixin):
+    """Use-case-2 featurization, shared across a grid of cells.
+
+    The use-case-2 feature rows concatenate a profile block with the
+    *encoded* source distribution, so the design matrix itself depends on
+    the representation's encoding.  Construction does everything
+    upstream of that — bootstrap replica sampling, profile featurization
+    and relative-time extraction — and :meth:`rows` assembles the
+    per-encoding matrices on demand (cached by encoding key).  Row
+    order and values match
+    :func:`repro.core.predictors.build_cross_system_rows` exactly.
+    """
+
+    def __init__(
+        self,
+        source: dict[str, RunCampaign],
+        target: dict[str, RunCampaign],
+        *,
+        n_replicas: int = 4,
+        replica_fraction: float = 0.5,
+        feature_config: FeatureConfig | None = None,
+        seed: int = _PROBE_SEED,
+    ) -> None:
+        super().__init__()
+        check_positive_int(n_replicas, name="n_replicas")
+        common = sorted(set(source) & set(target))
+        if not common:
+            raise ValidationError("source and target campaigns share no benchmarks")
+        self.names = common
+        self.n_replicas = n_replicas
+        self.seed = seed
+        cfg = feature_config or FeatureConfig()
+
+        # Per benchmark: replica profile blocks and relative times (the
+        # first replica is the full source campaign), plus the measured
+        # target distribution.
+        self._profiles: dict[str, list[np.ndarray]] = {}
+        self._src_times: dict[str, list[np.ndarray]] = {}
+        self.measured: dict[str, np.ndarray] = {}
+        groups = []
+        for name in common:
+            src, dst = source[name], target[name]
+            rng = check_random_state(seed_for(seed, "xsys", name))
+            n_half = max(2, int(src.n_runs * replica_fraction))
+            profiles, times = [], []
+            for r in range(n_replicas):
+                probe = src if r == 0 else src.sample_runs(n_half, rng)
+                profiles.append(profile_features(probe, cfg))
+                times.append(probe.relative_times())
+                groups.append(name)
+            self._profiles[name] = profiles
+            self._src_times[name] = times
+            self.measured[name] = dst.relative_times()
+        self.groups = np.asarray(groups)
+        self._matrices: dict[str, tuple] = {}
+
+    def rows(self, representation: DistributionRepresentation):
+        """(X, Y, groups) — bit-identical to ``build_cross_system_rows``."""
+        X, Y, _probe, _folds = self._encoded(representation)
+        return X, Y, self.groups
+
+    def probe_matrix(self, representation: DistributionRepresentation):
+        """Per-benchmark evaluation features (full source campaign)."""
+        _X, _Y, probe, _folds = self._encoded(representation)
+        return probe
+
+    def _encoded(self, representation: DistributionRepresentation):
+        key = representation.encoding_key
+        cached = self._matrices.get(key)
+        if cached is None:
+            rows_x, rows_y = [], []
+            probe: dict[str, np.ndarray] = {}
+            for name in self.names:
+                y = representation.encode(self.measured[name])
+                for prof, times in zip(self._profiles[name], self._src_times[name]):
+                    rows_x.append(
+                        np.concatenate([prof, representation.encode(times)])
+                    )
+                    rows_y.append(y)
+                # Evaluation features reuse the full-campaign replica.
+                probe[name] = np.concatenate(
+                    [
+                        self._profiles[name][0],
+                        representation.encode(self._src_times[name][0]),
+                    ]
+                )
+            cached = (np.asarray(rows_x), np.asarray(rows_y), probe, {})
+            self._matrices[key] = cached
+        return cached
+
+    def _compute_fold_vectors(self, model, representation, *, n_workers):
+        X, Y, probe, folds = self._encoded(representation)
+        return logo_fold_vectors(
+            X,
+            Y,
+            self.groups,
+            probe,
+            model,
+            n_workers=n_workers,
+            scaled_folds=folds,
+        )

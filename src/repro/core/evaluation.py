@@ -25,16 +25,16 @@ from ..ml.base import Regressor
 from ..ml.boosting import GradientBoostingRegressor
 from ..ml.forest import RandomForestRegressor
 from ..ml.knn import KNNRegressor
-from ..ml.scaling import RobustScaler
 from ..parallel.seeding import seed_for
 from ..simbench.suites import suite_of
-from .features import FeatureConfig, profile_features
-from .predictors import build_cross_system_rows, build_few_runs_rows
+from .engine import CrossSystemDesign, FewRunsDesign, logo_fold_vectors
+from .features import FeatureConfig
 from .representations import DistributionRepresentation
 
 __all__ = [
     "get_model",
     "MODELS",
+    "score_fold_vectors",
     "evaluate_few_runs",
     "evaluate_cross_system",
     "summarize_ks",
@@ -91,6 +91,34 @@ def _resolve_model(model) -> Regressor:
     return get_model(model) if isinstance(model, str) else model
 
 
+def score_fold_vectors(
+    vectors: dict[str, np.ndarray],
+    representation: DistributionRepresentation,
+    measured: dict[str, np.ndarray],
+    *,
+    seed: int,
+) -> ColumnTable:
+    """KS-score per-benchmark fold predictions into the tidy result table.
+
+    The scoring RNG is keyed per benchmark, independent of how (or in
+    what order) the vectors were produced.
+    """
+    names = sorted(measured)
+    ks_scores = []
+    for bench in names:
+        rng = check_random_state(seed_for(seed, "ks", bench))
+        ks_scores.append(
+            representation.ks_score(vectors[bench], measured[bench], rng=rng)
+        )
+    return ColumnTable(
+        {
+            "benchmark": names,
+            "suite": [suite_of(n) for n in names],
+            "ks": np.asarray(ks_scores),
+        }
+    )
+
+
 def _logo_ks(
     X: np.ndarray,
     Y: np.ndarray,
@@ -101,28 +129,17 @@ def _logo_ks(
     measured: dict[str, np.ndarray],
     *,
     seed: int,
+    n_workers: int = 1,
 ) -> ColumnTable:
     """Shared LOGO loop: refit per held-out benchmark, score KS."""
-    names = sorted(measured)
-    ks_scores = []
-    for bench in names:
-        mask = groups != bench
-        scaler = RobustScaler().fit(X[mask])
-        fitted = model.clone().fit(scaler.transform(X[mask]), Y[mask])
-        vec = fitted.predict(scaler.transform(probe_features[bench][None, :]))[0]
-        rng = check_random_state(seed_for(seed, "ks", bench))
-        ks_scores.append(representation.ks_score(vec, measured[bench], rng=rng))
-    return ColumnTable(
-        {
-            "benchmark": names,
-            "suite": [suite_of(n) for n in names],
-            "ks": np.asarray(ks_scores),
-        }
+    vectors = logo_fold_vectors(
+        X, Y, groups, probe_features, model, n_workers=n_workers
     )
+    return score_fold_vectors(vectors, representation, measured, seed=seed)
 
 
 def evaluate_few_runs(
-    campaigns: dict[str, RunCampaign],
+    campaigns: dict[str, RunCampaign] | None,
     *,
     representation: DistributionRepresentation,
     model: Regressor | str,
@@ -130,70 +147,83 @@ def evaluate_few_runs(
     n_replicas: int = 8,
     feature_config: FeatureConfig | None = None,
     seed: int = _EVAL_SEED,
+    n_workers: int = 1,
+    design: FewRunsDesign | None = None,
 ) -> ColumnTable:
     """Use-case-1 LOGO evaluation; one KS score per benchmark.
 
     The evaluation probe of each benchmark is drawn with a seed stream
     disjoint from the training replicas, so a held-out application is
     scored on a probe the training rows never contained.
+
+    Pass a prebuilt :class:`~repro.core.engine.FewRunsDesign` to share
+    featurization (and memoized fold predictions) across several calls —
+    the grid runners do this; the design then supersedes ``campaigns``
+    and the sampling parameters.  ``n_workers > 1`` fans the per-fold
+    refits out across processes without changing any result.
     """
     mdl = _resolve_model(model)
-    cfg = feature_config or FeatureConfig()
-    X, Y, groups = build_few_runs_rows(
-        campaigns,
+    if design is None:
+        if campaigns is None:
+            raise ValidationError("need campaigns or a prebuilt design")
+        design = FewRunsDesign(
+            campaigns,
+            n_probe_runs=n_probe_runs,
+            n_replicas=n_replicas,
+            feature_config=feature_config,
+            seed=seed,
+        )
+    vectors = design.fold_vectors(
+        mdl,
         representation,
-        n_probe_runs=n_probe_runs,
-        n_replicas=n_replicas,
-        feature_config=cfg,
-        seed=seed,
+        model_key=model.lower() if isinstance(model, str) else None,
+        n_workers=n_workers,
     )
-    probe_features: dict[str, np.ndarray] = {}
-    measured: dict[str, np.ndarray] = {}
-    for name, campaign in campaigns.items():
-        rng = check_random_state(seed_for(seed, "eval-probe", name, str(n_probe_runs)))
-        probe = campaign.sample_runs(n_probe_runs, rng)
-        probe_features[name] = profile_features(probe, cfg)
-        measured[name] = campaign.relative_times()
-    return _logo_ks(
-        X, Y, groups, mdl, representation, probe_features, measured, seed=seed
-    )
+    return score_fold_vectors(vectors, representation, design.measured, seed=seed)
 
 
 def evaluate_cross_system(
-    source_campaigns: dict[str, RunCampaign],
-    target_campaigns: dict[str, RunCampaign],
+    source_campaigns: dict[str, RunCampaign] | None,
+    target_campaigns: dict[str, RunCampaign] | None,
     *,
     representation: DistributionRepresentation,
     model: Regressor | str,
     n_replicas: int = 4,
     feature_config: FeatureConfig | None = None,
     seed: int = _EVAL_SEED,
+    n_workers: int = 1,
+    design: CrossSystemDesign | None = None,
 ) -> ColumnTable:
-    """Use-case-2 LOGO evaluation; one KS score per benchmark."""
+    """Use-case-2 LOGO evaluation; one KS score per benchmark.
+
+    Accepts a prebuilt :class:`~repro.core.engine.CrossSystemDesign` like
+    :func:`evaluate_few_runs` does for use case 1.
+    """
     mdl = _resolve_model(model)
-    cfg = feature_config or FeatureConfig()
-    common = sorted(set(source_campaigns) & set(target_campaigns))
-    if len(common) < 2:
-        raise ValidationError("need at least two benchmarks common to both systems")
-    src = {k: source_campaigns[k] for k in common}
-    dst = {k: target_campaigns[k] for k in common}
-    X, Y, groups = build_cross_system_rows(
-        src, dst, representation, n_replicas=n_replicas, feature_config=cfg, seed=seed
-    )
-    probe_features: dict[str, np.ndarray] = {}
-    measured: dict[str, np.ndarray] = {}
-    for name in common:
-        x = np.concatenate(
-            [
-                profile_features(src[name], cfg),
-                representation.encode(src[name].relative_times()),
-            ]
+    if design is None:
+        if source_campaigns is None or target_campaigns is None:
+            raise ValidationError("need campaigns or a prebuilt design")
+        common = sorted(set(source_campaigns) & set(target_campaigns))
+        if len(common) < 2:
+            raise ValidationError(
+                "need at least two benchmarks common to both systems"
+            )
+        design = CrossSystemDesign(
+            {k: source_campaigns[k] for k in common},
+            {k: target_campaigns[k] for k in common},
+            n_replicas=n_replicas,
+            feature_config=feature_config,
+            seed=seed,
         )
-        probe_features[name] = x
-        measured[name] = dst[name].relative_times()
-    return _logo_ks(
-        X, Y, groups, mdl, representation, probe_features, measured, seed=seed
+    elif len(design.names) < 2:
+        raise ValidationError("need at least two benchmarks common to both systems")
+    vectors = design.fold_vectors(
+        mdl,
+        representation,
+        model_key=model.lower() if isinstance(model, str) else None,
+        n_workers=n_workers,
     )
+    return score_fold_vectors(vectors, representation, design.measured, seed=seed)
 
 
 @dataclass(frozen=True)

@@ -24,13 +24,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .._validation import check_positive_int, check_random_state
 from ..data.dataset import RunCampaign
 from ..errors import NotFittedError, ValidationError
 from ..ml.base import Regressor
 from ..ml.knn import KNNRegressor
 from ..ml.scaling import RobustScaler
-from ..parallel.seeding import seed_for
 from .features import FeatureConfig, profile_features
 from .representations import (
     DistributionRepresentation,
@@ -67,23 +65,16 @@ def build_few_runs_rows(
     Returns (X, Y, groups) where groups holds the benchmark name per row —
     the unit the leave-one-group-out protocol holds out.
     """
-    check_positive_int(n_probe_runs, name="n_probe_runs")
-    check_positive_int(n_replicas, name="n_replicas")
-    rows_x, rows_y, groups = [], [], []
-    for name in sorted(campaigns):
-        campaign = campaigns[name]
-        if campaign.n_runs < n_probe_runs:
-            raise ValidationError(
-                f"{name} has {campaign.n_runs} runs < n_probe_runs={n_probe_runs}"
-            )
-        target = representation.encode(campaign.relative_times())
-        rng = check_random_state(seed_for(seed, "probe", name, str(n_probe_runs)))
-        for _ in range(n_replicas):
-            probe = campaign.sample_runs(n_probe_runs, rng)
-            rows_x.append(profile_features(probe, feature_config))
-            rows_y.append(target)
-            groups.append(name)
-    return np.asarray(rows_x), np.asarray(rows_y), np.asarray(groups)
+    from .engine import FewRunsDesign
+
+    design = FewRunsDesign(
+        campaigns,
+        n_probe_runs=n_probe_runs,
+        n_replicas=n_replicas,
+        feature_config=feature_config,
+        seed=seed,
+    )
+    return design.rows(representation)
 
 
 def build_cross_system_rows(
@@ -105,28 +96,17 @@ def build_cross_system_rows(
     noise regularization); the first replica of each benchmark uses the
     complete campaign.
     """
-    check_positive_int(n_replicas, name="n_replicas")
-    common = sorted(set(source) & set(target))
-    if not common:
-        raise ValidationError("source and target campaigns share no benchmarks")
-    rows_x, rows_y, groups = [], [], []
-    for name in common:
-        src, dst = source[name], target[name]
-        y = representation.encode(dst.relative_times())
-        rng = check_random_state(seed_for(seed, "xsys", name))
-        n_half = max(2, int(src.n_runs * replica_fraction))
-        for r in range(n_replicas):
-            probe = src if r == 0 else src.sample_runs(n_half, rng)
-            x = np.concatenate(
-                [
-                    profile_features(probe, feature_config),
-                    representation.encode(probe.relative_times()),
-                ]
-            )
-            rows_x.append(x)
-            rows_y.append(y)
-            groups.append(name)
-    return np.asarray(rows_x), np.asarray(rows_y), np.asarray(groups)
+    from .engine import CrossSystemDesign
+
+    design = CrossSystemDesign(
+        source,
+        target,
+        n_replicas=n_replicas,
+        replica_fraction=replica_fraction,
+        feature_config=feature_config,
+        seed=seed,
+    )
+    return design.rows(representation)
 
 
 @dataclass

@@ -71,6 +71,10 @@ class QuantileRepresentation(DistributionRepresentation):
             raise ValidationError("need at least 3 quantile levels")
 
     @property
+    def encoding_key(self) -> str:
+        return f"quantile:{self.n_quantiles}"
+
+    @property
     def levels(self) -> np.ndarray:
         """Interior quantile levels used for encoding."""
         return _default_levels(self.n_quantiles)

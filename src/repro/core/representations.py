@@ -125,6 +125,19 @@ class DistributionRepresentation(ABC):
     name: str
 
     @property
+    def encoding_key(self) -> str:
+        """Identity of the *encoding* (target construction), not the decode.
+
+        Representations that share an encoding key produce bit-identical
+        target matrices — and therefore bit-identical fitted models and
+        predicted vectors — for the same training rows.  The evaluation
+        engine uses this to share fold predictions across grid cells
+        (e.g. the two four-moment representations differ only in how a
+        predicted vector is decoded for scoring).
+        """
+        return self.name
+
+    @property
     @abstractmethod
     def n_dims(self) -> int:
         """Length of the encoded vector."""
@@ -156,6 +169,11 @@ class HistogramRepresentation(DistributionRepresentation):
     name = "histogram"
 
     @property
+    def encoding_key(self) -> str:
+        g = self.grid
+        return f"histogram:{g.low}:{g.high}:{g.n_bins}"
+
+    @property
     def n_dims(self) -> int:
         return self.grid.n_bins
 
@@ -173,6 +191,12 @@ class HistogramRepresentation(DistributionRepresentation):
 
 class _MomentRepresentationBase(DistributionRepresentation):
     """Shared encoding for the two four-moment representations."""
+
+    @property
+    def encoding_key(self) -> str:
+        # PyMaxEnt and PearsonRnd encode identically (first four moments)
+        # and differ only in reconstruction, so they share fold models.
+        return "moments4"
 
     @property
     def n_dims(self) -> int:

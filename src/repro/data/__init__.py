@@ -1,5 +1,6 @@
 """Data layer: metric catalogs, campaign containers, and a mini table."""
 
+from .campaign_cache import CampaignCache, campaign_set_key
 from .catalogs import AMD_METRICS, INTEL_METRICS, metric_catalog
 from .dataset import CampaignStore, RunCampaign
 from .table import ColumnTable
@@ -8,6 +9,8 @@ __all__ = [
     "AMD_METRICS",
     "INTEL_METRICS",
     "metric_catalog",
+    "CampaignCache",
+    "campaign_set_key",
     "CampaignStore",
     "RunCampaign",
     "ColumnTable",

@@ -1,0 +1,215 @@
+"""Content-addressed persistent cache of measurement campaign sets.
+
+Simulating a paper-scale sweep (60 benchmarks x 1,000 runs x 2 systems)
+is the fixed cost every benchmark session, test run and experiment CLI
+invocation pays before any evaluation starts.  Campaigns are pure
+functions of ``(system, roster, n_runs, root_seed)`` — the simulator
+keys every RNG stream off exactly those values — so a campaign set can
+be addressed by the hash of its parameters and stored once, forever.
+
+:class:`CampaignCache` layers two tiers behind that key:
+
+* an in-memory LRU of recently used campaign sets (``OrderedDict``),
+  serving repeat lookups within a process at dict-hit cost;
+* an optional on-disk tier (one ``.npz`` per campaign set, stacked
+  arrays + JSON metadata) shared across processes and sessions.  Files
+  are written atomically (temp file + ``os.replace``) so concurrent
+  benchmark runs never observe a torn cache entry.
+
+The disk root comes from the constructor argument or the
+``REPRO_CACHE_DIR`` environment variable; with neither, the cache is
+memory-only.  This module deliberately knows nothing about the
+simulator: :meth:`CampaignCache.get_or_measure` takes the measurement
+callable from the caller (see
+:func:`repro.simbench.runner.cached_measure_all`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..parallel.seeding import stable_hash
+from .dataset import RunCampaign
+
+__all__ = ["CampaignCache", "campaign_set_key"]
+
+#: Cache-format version; bump to invalidate every existing entry.
+_FORMAT = 1
+
+
+def campaign_set_key(
+    system: str,
+    benchmarks: tuple[str, ...],
+    n_runs: int,
+    root_seed: int,
+) -> str:
+    """Content address of one campaign set.
+
+    A stable SHA-256-based hex digest of every parameter the simulator's
+    RNG streams depend on; equal keys therefore guarantee bit-identical
+    campaign sets.
+    """
+    digest = stable_hash(
+        f"v{_FORMAT}",
+        system,
+        *benchmarks,
+        str(int(n_runs)),
+        str(int(root_seed)),
+        bits=128,
+    )
+    return f"{system}-{int(n_runs)}r-{digest:032x}"
+
+
+class CampaignCache:
+    """Two-tier (memory LRU + optional disk) campaign-set cache.
+
+    Parameters
+    ----------
+    root:
+        Directory for the on-disk tier.  ``None`` consults the
+        ``REPRO_CACHE_DIR`` environment variable; if that is also unset
+        the cache is memory-only.
+    max_memory_items:
+        Campaign *sets* kept in the in-memory LRU tier.
+    """
+
+    def __init__(self, root=None, *, max_memory_items: int = 8) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or None
+        self.root = Path(root) if root is not None else None
+        self.max_memory_items = max(1, int(max_memory_items))
+        self._memory: OrderedDict[str, dict[str, RunCampaign]] = OrderedDict()
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(
+        self,
+        system: str,
+        benchmarks: tuple[str, ...],
+        n_runs: int,
+        root_seed: int,
+    ) -> dict[str, RunCampaign] | None:
+        """The cached campaign set, or None on a full miss."""
+        key = campaign_set_key(system, tuple(benchmarks), n_runs, root_seed)
+        hit = self._memory.get(key)
+        if hit is not None:
+            self._memory.move_to_end(key)
+            return dict(hit)
+        loaded = self._load_disk(key)
+        if loaded is not None:
+            self._remember(key, loaded)
+            return dict(loaded)
+        return None
+
+    def put(
+        self,
+        system: str,
+        benchmarks: tuple[str, ...],
+        n_runs: int,
+        root_seed: int,
+        campaigns: dict[str, RunCampaign],
+    ) -> None:
+        """Insert a measured campaign set into both tiers."""
+        key = campaign_set_key(system, tuple(benchmarks), n_runs, root_seed)
+        self._remember(key, dict(campaigns))
+        if self.root is not None:
+            self._save_disk(key, campaigns)
+
+    def get_or_measure(
+        self,
+        system: str,
+        benchmarks: tuple[str, ...],
+        n_runs: int,
+        root_seed: int,
+        measure: Callable[[], dict[str, RunCampaign]],
+    ) -> dict[str, RunCampaign]:
+        """Cached campaign set, measuring (and caching) on a miss.
+
+        ``measure`` runs only on a full miss; because campaigns are
+        deterministic in the key parameters, a hit is bit-identical to
+        what ``measure`` would have produced.
+        """
+        found = self.get(system, benchmarks, n_runs, root_seed)
+        if found is not None:
+            return found
+        campaigns = measure()
+        self.put(system, benchmarks, n_runs, root_seed, campaigns)
+        return dict(campaigns)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier (disk entries survive)."""
+        self._memory.clear()
+
+    # -- internals -----------------------------------------------------------
+
+    def _remember(self, key: str, campaigns: dict[str, RunCampaign]) -> None:
+        self._memory[key] = campaigns
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_items:
+            self._memory.popitem(last=False)
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.root is not None
+        return self.root / f"{key}.npz"
+
+    def _save_disk(self, key: str, campaigns: dict[str, RunCampaign]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        names = sorted(campaigns)
+        sets = [campaigns[n] for n in names]
+        meta = {
+            "format": _FORMAT,
+            "benchmarks": names,
+            "system": sets[0].system,
+            "metric_names": list(sets[0].metric_names),
+        }
+        path = self._disk_path(key)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.root), prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez_compressed(
+                    fh,
+                    runtimes=np.stack([c.runtimes for c in sets]),
+                    counters=np.stack([c.counters for c in sets]),
+                    meta=json.dumps(meta),
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def _load_disk(self, key: str) -> dict[str, RunCampaign] | None:
+        if self.root is None:
+            return None
+        path = self._disk_path(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                meta = json.loads(str(data["meta"]))
+                runtimes = data["runtimes"]
+                counters = data["counters"]
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            # A torn or foreign file is a miss, not an error; it will be
+            # rewritten atomically after the next measurement.
+            return None
+        metric_names = tuple(meta["metric_names"])
+        return {
+            name: RunCampaign(
+                name,
+                meta["system"],
+                runtimes[i],
+                counters[i],
+                metric_names,
+            )
+            for i, name in enumerate(meta["benchmarks"])
+        }

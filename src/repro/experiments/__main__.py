@@ -67,9 +67,12 @@ def run_fig3(cfg, out):
 
 
 def run_fig4(cfg, out):
-    campaigns = usecase1.measure_campaigns(cfg, "intel")
-    grid = usecase1.representation_model_grid(campaigns, cfg)
+    timer = reporting.StageTimer()
+    with timer.time("measure"):
+        campaigns = usecase1.measure_campaigns(cfg, "intel")
+    grid = usecase1.representation_model_grid(campaigns, cfg, timer=timer)
     print(reporting.grid_report(grid, title="Fig. 4 — UC1 representation x model"))
+    print(f"[stages] {timer.report()}")
     export_table(grid, "fig4_uc1_grid", out)
 
 
@@ -129,9 +132,12 @@ def run_fig6(cfg, out):
 
 
 def run_fig7(cfg, out):
-    amd, intel = usecase2.measure_both_systems(cfg)
-    grid = usecase2.representation_model_grid(amd, intel, cfg)
+    timer = reporting.StageTimer()
+    with timer.time("measure"):
+        amd, intel = usecase2.measure_both_systems(cfg)
+    grid = usecase2.representation_model_grid(amd, intel, cfg, timer=timer)
     print(reporting.grid_report(grid, title="Fig. 7 — UC2 representation x model"))
+    print(f"[stages] {timer.report()}")
     export_table(grid, "fig7_uc2_grid", out)
 
 

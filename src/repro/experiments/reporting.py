@@ -8,12 +8,16 @@ violin renderings of the figures.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
+
 import numpy as np
 
 from ..data.table import ColumnTable
 from ..viz.ascii import violin_ascii
 
 __all__ = [
+    "StageTimer",
     "grid_mean_ks",
     "best_by_representation",
     "best_by_model",
@@ -21,6 +25,49 @@ __all__ = [
     "sweep_report",
     "direction_report",
 ]
+
+
+class StageTimer:
+    """Accumulates wall time per pipeline stage.
+
+    The runners time four canonical stages — ``measure`` (campaign
+    simulation), ``featurize`` (design/feature-matrix construction),
+    ``fit`` (per-fold model refits) and ``score`` (KS evaluation) — so a
+    phase breakdown can be printed after every sweep and exported to the
+    perf record (``tools/bench_report.py``).
+    """
+
+    def __init__(self) -> None:
+        self.stages: dict[str, float] = {}
+
+    @contextmanager
+    def time(self, stage: str):
+        """Context manager adding the elapsed wall time to *stage*."""
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(stage, time.perf_counter() - t0)
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Add *seconds* to a stage's accumulated total."""
+        self.stages[stage] = self.stages.get(stage, 0.0) + float(seconds)
+
+    @property
+    def total(self) -> float:
+        """Sum of all stage times."""
+        return float(sum(self.stages.values()))
+
+    def report(self) -> str:
+        """One-line phase breakdown, e.g. ``fit 9.80s | score 1.21s``."""
+        if not self.stages:
+            return "no stages timed"
+        parts = [f"{name} {secs:.2f}s" for name, secs in self.stages.items()]
+        return " | ".join(parts) + f"  (total {self.total:.2f}s)"
+
+    def as_dict(self) -> dict[str, float]:
+        """Stage -> seconds mapping (for JSON export)."""
+        return dict(self.stages)
 
 
 def grid_mean_ks(grid: ColumnTable) -> ColumnTable:

@@ -16,7 +16,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._validation import check_random_state
-from ..core.evaluation import evaluate_few_runs, get_model, summarize_ks
+from ..core.engine import FewRunsDesign
+from ..core.evaluation import (
+    evaluate_few_runs,
+    get_model,
+    score_fold_vectors,
+    summarize_ks,
+)
 from ..core.features import FeatureConfig
 from ..core.predictors import FewRunsPredictor
 from ..core.representations import get_representation
@@ -25,6 +31,7 @@ from ..data.table import ColumnTable
 from ..parallel.seeding import seed_for
 from ..simbench.runner import measure_all
 from .config import ExperimentConfig, PAPER_CONFIG
+from .reporting import StageTimer
 
 __all__ = [
     "measure_campaigns",
@@ -51,20 +58,40 @@ def measure_campaigns(
 def representation_model_grid(
     campaigns: dict[str, RunCampaign],
     config: ExperimentConfig = PAPER_CONFIG,
+    *,
+    timer: StageTimer | None = None,
 ) -> ColumnTable:
-    """Fig. 4 data: long-form table (representation, model, benchmark, ks)."""
+    """Fig. 4 data: long-form table (representation, model, benchmark, ks).
+
+    The featurization design is built once and shared by all nine cells
+    (see :mod:`repro.core.engine`); representations with a common
+    encoding additionally share fold-model predictions.  Pass a
+    :class:`~repro.experiments.reporting.StageTimer` to collect the
+    featurize/fit/score phase breakdown.
+    """
+    timer = timer if timer is not None else StageTimer()
+    with timer.time("featurize"):
+        design = FewRunsDesign(
+            campaigns,
+            n_probe_runs=config.n_probe_runs,
+            n_replicas=config.n_replicas_uc1,
+            seed=config.eval_seed,
+        )
     frames = []
     for rep_name in config.representations:
         rep = get_representation(rep_name)
         for model_name in config.models:
-            tab = evaluate_few_runs(
-                campaigns,
-                representation=rep,
-                model=model_name,
-                n_probe_runs=config.n_probe_runs,
-                n_replicas=config.n_replicas_uc1,
-                seed=config.eval_seed,
-            )
+            with timer.time("fit"):
+                vectors = design.fold_vectors(
+                    get_model(model_name),
+                    rep,
+                    model_key=model_name,
+                    n_workers=config.n_workers,
+                )
+            with timer.time("score"):
+                tab = score_fold_vectors(
+                    vectors, rep, design.measured, seed=config.eval_seed
+                )
             for row in tab.rows():
                 frames.append(
                     {
@@ -96,6 +123,7 @@ def sample_count_sweep(
             n_probe_runs=n_samples,
             n_replicas=config.n_replicas_uc1,
             seed=config.eval_seed,
+            n_workers=config.n_workers,
         )
         for row in tab.rows():
             frames.append(

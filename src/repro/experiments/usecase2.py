@@ -13,7 +13,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._validation import check_random_state
-from ..core.evaluation import evaluate_cross_system, get_model
+from ..core.engine import CrossSystemDesign
+from ..errors import ValidationError
+from ..core.evaluation import (
+    evaluate_cross_system,
+    get_model,
+    score_fold_vectors,
+)
 from ..core.predictors import CrossSystemPredictor
 from ..core.representations import get_representation
 from ..data.dataset import RunCampaign
@@ -21,6 +27,7 @@ from ..data.table import ColumnTable
 from ..parallel.seeding import seed_for
 from ..simbench.runner import measure_all
 from .config import ExperimentConfig, PAPER_CONFIG
+from .reporting import StageTimer
 
 __all__ = [
     "measure_both_systems",
@@ -56,20 +63,41 @@ def representation_model_grid(
     source: dict[str, RunCampaign],
     target: dict[str, RunCampaign],
     config: ExperimentConfig = PAPER_CONFIG,
+    *,
+    timer: StageTimer | None = None,
 ) -> ColumnTable:
-    """Fig. 7 data: (representation, model, benchmark, ks), source->target."""
+    """Fig. 7 data: (representation, model, benchmark, ks), source->target.
+
+    Shares one :class:`~repro.core.engine.CrossSystemDesign` across all
+    nine cells; encoding-compatible representations also share fold
+    predictions.  Pass a timer for the phase breakdown.
+    """
+    timer = timer if timer is not None else StageTimer()
+    common = sorted(set(source) & set(target))
+    if len(common) < 2:
+        raise ValidationError("need at least two benchmarks common to both systems")
+    with timer.time("featurize"):
+        design = CrossSystemDesign(
+            {k: source[k] for k in common},
+            {k: target[k] for k in common},
+            n_replicas=config.n_replicas_uc2,
+            seed=config.eval_seed,
+        )
     frames = []
     for rep_name in config.representations:
         rep = get_representation(rep_name)
         for model_name in config.models:
-            tab = evaluate_cross_system(
-                source,
-                target,
-                representation=rep,
-                model=model_name,
-                n_replicas=config.n_replicas_uc2,
-                seed=config.eval_seed,
-            )
+            with timer.time("fit"):
+                vectors = design.fold_vectors(
+                    get_model(model_name),
+                    rep,
+                    model_key=model_name,
+                    n_workers=config.n_workers,
+                )
+            with timer.time("score"):
+                tab = score_fold_vectors(
+                    vectors, rep, design.measured, seed=config.eval_seed
+                )
             for row in tab.rows():
                 frames.append(
                     {
@@ -105,6 +133,7 @@ def direction_study(
             model=model,
             n_replicas=config.n_replicas_uc2,
             seed=config.eval_seed,
+            n_workers=config.n_workers,
         )
         for row in tab.rows():
             frames.append(

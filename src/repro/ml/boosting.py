@@ -8,6 +8,12 @@ and replaces every leaf mean with the **regularized Newton step**
 XGBoost uses for ``reg:squarederror``.  Shrinkage (``learning_rate``), row
 subsampling, and per-tree column subsampling match the XGBoost knobs the
 paper's setup exposes.
+
+Unlike :class:`~repro.ml.forest.RandomForestRegressor`, boosting offers
+no tree-level ``n_jobs`` path: each round's tree is fitted to residuals
+that depend on every preceding round, so rounds are inherently
+sequential.  Concurrency for boosted cells comes from the fold level
+instead (see :func:`repro.core.engine.logo_fold_vectors`).
 """
 
 from __future__ import annotations

@@ -8,13 +8,34 @@ targets.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from .._validation import check_positive_int, check_random_state
+from ..parallel.pool import parallel_map
 from .base import Regressor, validate_fit_inputs
 from .tree import RegressionTree
 
 __all__ = ["RandomForestRegressor"]
+
+
+def _fit_one_tree(Xv, yv, tree_params, bootstrap, seq) -> RegressionTree:
+    """Fit one forest member from its spawned seed sequence.
+
+    Top-level (and driven purely by ``seq``) so tree fits can fan out
+    across processes with results independent of scheduling: every tree
+    derives its feature subsampling *and* bootstrap rows from its own
+    pre-spawned stream.
+    """
+    tree_rng = np.random.default_rng(seq)
+    tree = RegressionTree(rng=tree_rng, **tree_params)
+    n = Xv.shape[0]
+    if bootstrap:
+        rows = tree_rng.integers(0, n, size=n)
+    else:
+        rows = np.arange(n)
+    return tree.fit(Xv, yv, sample_indices=rows)
 
 
 class RandomForestRegressor(Regressor):
@@ -35,6 +56,11 @@ class RandomForestRegressor(Regressor):
     rng:
         Seed or Generator; child trees get independent spawned streams so
         results are reproducible regardless of fitting order.
+    n_jobs:
+        Processes fitting trees concurrently (1 = in-process serial,
+        ``None`` = :func:`repro.parallel.pool.default_workers`).  Any
+        value yields bit-identical forests because each tree is a pure
+        function of its pre-spawned seed stream.
     """
 
     def __init__(
@@ -47,6 +73,7 @@ class RandomForestRegressor(Regressor):
         max_features: int | float | str | None = "sqrt",
         bootstrap: bool = True,
         rng=None,
+        n_jobs: int | None = 1,
     ) -> None:
         self.n_estimators = check_positive_int(n_estimators, name="n_estimators")
         self.max_depth = max_depth
@@ -55,32 +82,33 @@ class RandomForestRegressor(Regressor):
         self.max_features = max_features
         self.bootstrap = bootstrap
         self.rng = rng
+        self.n_jobs = n_jobs
 
     def fit(self, X, y) -> "RandomForestRegressor":
         Xv, yv = validate_fit_inputs(X, y)
         gen = check_random_state(self.rng)
-        n = Xv.shape[0]
-        self.trees_: list[RegressionTree] = []
         # One spawned seed per tree keeps trees independent and the whole
-        # fit reproducible from a single root seed.
+        # fit reproducible from a single root seed, regardless of where
+        # (or in what order) each tree is fitted.
         seeds = np.random.SeedSequence(gen.integers(0, 2**63 - 1)).spawn(
             self.n_estimators
         )
-        for seq in seeds:
-            tree_rng = np.random.default_rng(seq)
-            tree = RegressionTree(
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                rng=tree_rng,
-            )
-            if self.bootstrap:
-                rows = tree_rng.integers(0, n, size=n)
-            else:
-                rows = np.arange(n)
-            tree.fit(Xv, yv, sample_indices=rows)
-            self.trees_.append(tree)
+        fit_tree = partial(
+            _fit_one_tree,
+            Xv,
+            yv,
+            {
+                "max_depth": self.max_depth,
+                "min_samples_split": self.min_samples_split,
+                "min_samples_leaf": self.min_samples_leaf,
+                "max_features": self.max_features,
+            },
+            self.bootstrap,
+        )
+        if self.n_jobs == 1:
+            self.trees_ = [fit_tree(seq) for seq in seeds]
+        else:
+            self.trees_ = parallel_map(fit_tree, seeds, n_workers=self.n_jobs)
         self.n_features_ = Xv.shape[1]
         self.n_outputs_ = yv.shape[1]
         return self

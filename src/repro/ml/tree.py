@@ -22,16 +22,48 @@ from .base import Regressor, validate_fit_inputs
 
 __all__ = ["RegressionTree"]
 
+#: Scratch budget of the split search, in float32 elements.  The cumsum
+#: tensor is float32, so 4M floats ~= 16 MB per (chunk, n, k) block.
+_SPLIT_BUDGET_FLOATS = 4_000_000
+
+
 def _feature_chunk(n_rows: int, n_outputs: int) -> int:
-    """Features per split-search chunk, targeting ~32 MB of scratch.
+    """Features per split-search chunk, targeting ~16 MB of scratch.
 
     Larger chunks amortize NumPy call overhead (the dominant cost for
-    shallow boosted trees); the cap keeps the (n, chunk, k) cumsum tensor
-    within a fixed memory budget.
+    shallow boosted trees); the cap keeps the (chunk, n, k) cumsum tensor
+    within the :data:`_SPLIT_BUDGET_FLOATS` memory budget.
     """
-    budget_floats = 4_000_000
     per_feature = max(n_rows * max(n_outputs, 1), 1)
-    return int(np.clip(budget_floats // per_feature, 8, 512))
+    chunk = _SPLIT_BUDGET_FLOATS // per_feature
+    return 8 if chunk < 8 else (512 if chunk > 512 else int(chunk))
+
+
+#: Minimum (features x outputs) plane size for the row-looped prefix sum.
+#: Below this, np.cumsum's per-chain scalar loop wins; above it, one
+#: vectorized plane-add per row amortizes far better on a single core.
+_PLANE_LOOP_MIN_WIDTH = 768
+
+
+def _prefix_sums(Ys: np.ndarray) -> np.ndarray:
+    """Running sums of ``Ys`` along axis 0, bit-identical to ``np.cumsum``.
+
+    Both branches accumulate each (feature, output) chain in the same
+    sequential order, so they produce identical float32 results; the
+    choice is purely a speed heuristic.  ``np.cumsum`` iterates chains
+    one scalar at a time, which is the dominant cost of the split search
+    for wide targets (histogram bins x many features) — there a Python
+    loop of SIMD plane-adds over the contiguous trailing (f, k) plane is
+    several times faster.
+    """
+    n = Ys.shape[0]
+    if Ys[0].size < _PLANE_LOOP_MIN_WIDTH:
+        return np.cumsum(Ys, axis=0)
+    out = np.empty_like(Ys)
+    out[0] = Ys[0]
+    for i in range(1, n):
+        np.add(out[i - 1], Ys[i], out=out[i])
+    return out
 
 
 @dataclass
@@ -49,8 +81,10 @@ def _best_split_for_chunk(
 ) -> tuple[float, int, float] | None:
     """Best (score, feature, threshold) within one chunk of features.
 
-    ``score`` is the post-split total SSE (lower is better); returns None
-    when no admissible split exists in the chunk.
+    ``Xn`` is the node's (rows, chunk features) matrix and ``Yn`` its
+    targets (float64 or pre-cast float32).  ``score`` is the post-split
+    total SSE (lower is better); returns None when no admissible split
+    exists in the chunk.
 
     The cumulative-sum/einsum kernel runs in float32: the split search is
     memory-bandwidth-bound and split *selection* only needs enough
@@ -58,11 +92,17 @@ def _best_split_for_chunk(
     float64 by the caller.
     """
     n = Xn.shape[0]
-    order = np.argsort(Xn, axis=0, kind="stable")
-    xs = np.take_along_axis(Xn, order, axis=0)  # (n, f) sorted values
-    Ys = Yn[order]  # (n, f, k) targets in per-feature sorted order
+    # Sort feature-major: per-feature argsort/take walk contiguous rows of
+    # the (f, n) matrix instead of strided columns.  Stable sort of a
+    # column and of the transposed row agree exactly, so the split choice
+    # is unchanged.
+    Xf = np.ascontiguousarray(Xn.T)  # (f, n)
+    order = np.argsort(Xf, axis=1, kind="stable")
+    xs = np.take_along_axis(Xf, order, axis=1)  # (f, n) sorted values
+    Y32 = Yn if Yn.dtype == np.float32 else Yn.astype(np.float32)
+    Ys = Y32[order.T]  # (n, f, k) targets in per-feature sorted order
 
-    cum_s = np.cumsum(Ys, axis=0, dtype=np.float32)  # (n, f, k)
+    cum_s = _prefix_sums(Ys)  # float32 (n, f, k)
     total_s = cum_s[-1]  # (f, k)
     left_cnt = np.arange(1, n, dtype=np.float32)[:, None]  # (n-1, 1)
     right_cnt = n - left_cnt
@@ -75,23 +115,20 @@ def _best_split_for_chunk(
     score = -(left_sq / left_cnt + right_sq / right_cnt)  # (n-1, f)
 
     # Mask inadmissible split positions: ties and min_samples_leaf.
-    ties = xs[:-1] == xs[1:]
-    score[ties] = np.inf
+    ties = xs[:, :-1] == xs[:, 1:]  # (f, n-1)
+    score[ties.T] = np.inf
     if min_leaf > 1:
         score[: min_leaf - 1] = np.inf
-        if min_leaf - 1 > 0:
-            score[n - min_leaf :] = np.inf
-    if not np.any(np.isfinite(score)):
-        return None
+        score[n - min_leaf :] = np.inf
     flat = np.argmin(score)
     pos, fidx = np.unravel_index(flat, score.shape)
     best = float(score[pos, fidx])
     if not np.isfinite(best):
         return None
-    threshold = 0.5 * (xs[pos, fidx] + xs[pos + 1, fidx])
+    threshold = 0.5 * (xs[fidx, pos] + xs[fidx, pos + 1])
     # Guard against midpoint rounding onto the right value.
-    if threshold >= xs[pos + 1, fidx]:
-        threshold = xs[pos, fidx]
+    if threshold >= xs[fidx, pos + 1]:
+        threshold = xs[fidx, pos]
     return best, int(feat_ids[fidx]), float(threshold)
 
 
@@ -159,6 +196,11 @@ class RegressionTree(Regressor):
         gen = check_random_state(self.rng)
         n, d = Xv.shape
         k = yv.shape[1]
+        # One float32 cast for the whole fit; the split kernel accumulates
+        # in float32 anyway, and per-node gathers of the pre-cast matrix
+        # halve the memory traffic of the hottest path.
+        yv32 = yv.astype(np.float32)
+        XvT = Xv.T
         root_idx = (
             np.arange(n, dtype=np.intp)
             if sample_indices is None
@@ -192,8 +234,10 @@ class RegressionTree(Regressor):
                 or (self.max_depth is not None and task.depth >= self.max_depth)
             ):
                 continue
-            # Pure-node shortcut: zero spread in every output.
-            if np.allclose(Yn, Yn[0], rtol=0.0, atol=1e-15):
+            # Pure-node shortcut: zero spread in every output (same
+            # predicate as allclose(rtol=0, atol=1e-15), minus its
+            # temporaries — this check runs once per node).
+            if np.abs(Yn - Yn[0]).max() <= 1e-15:
                 continue
 
             if n_cand < d:
@@ -201,12 +245,15 @@ class RegressionTree(Regressor):
             else:
                 cand = np.arange(d)
             best: tuple[float, int, float] | None = None
-            Xnode = Xv[idx]
+            Yn32 = yv32[idx]
             chunk_size = _feature_chunk(idx.size, k)
             for start in range(0, cand.size, chunk_size):
                 chunk = cand[start : start + chunk_size]
+                # Gather straight into feature-major (f, n) C-order; the
+                # kernel's transpose of this view is then free.
+                Xf = XvT[np.ix_(chunk, idx)]
                 res = _best_split_for_chunk(
-                    Xnode[:, chunk], Yn, chunk, self.min_samples_leaf
+                    Xf.T, Yn32, chunk, self.min_samples_leaf
                 )
                 if res is not None and (best is None or res[0] < best[0]):
                     best = res

@@ -16,7 +16,9 @@ library needs:
 from __future__ import annotations
 
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from .._validation import check_positive_int
@@ -40,6 +42,20 @@ def default_workers() -> int:
 
 def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> list[R]:
     return [fn(item) for item in chunk]
+
+
+def _is_picklable(fn: Callable) -> bool:
+    """Whether *fn* can cross a process boundary.
+
+    Checked *before* any pool work is submitted, so un-picklable
+    callables (closures, lambdas, bound locals) take the serial path
+    directly instead of failing mid-flight and re-running everything.
+    """
+    try:
+        pickle.dumps(fn)
+        return True
+    except Exception:
+        return False
 
 
 def parallel_map(
@@ -70,6 +86,10 @@ def parallel_map(
     workers = min(workers, len(work))
     if workers == 1:
         return [fn(item) for item in work]
+    if not _is_picklable(fn):
+        # Closures and lambdas cannot cross process boundaries; run
+        # inline rather than letting every pool task fail.
+        return [fn(item) for item in work]
     if chunk_size is None:
         chunk_size = max(1, -(-len(work) // (4 * workers)))
     chunks = [work[i : i + chunk_size] for i in range(0, len(work), chunk_size)]
@@ -80,7 +100,9 @@ def parallel_map(
             for fut in futures:
                 results.extend(fut.result())
             return results
-    except (OSError, RuntimeError, ImportError, AttributeError, TypeError):
-        # Pool creation or pickling failed (sandboxed env, closure fn):
-        # fall back to the serial path, which is always correct.
+    except (BrokenProcessPool, OSError, ImportError):
+        # The *environment* failed (sandbox forbids spawning, workers
+        # were killed), not the task: the serial path is still correct.
+        # Genuine task exceptions propagate to the caller instead of
+        # being silently retried.
         return [fn(item) for item in work]

@@ -16,6 +16,7 @@ from functools import partial
 import numpy as np
 
 from .._validation import check_positive_int
+from ..data.campaign_cache import CampaignCache
 from ..data.dataset import CampaignStore, RunCampaign
 from ..parallel.pool import parallel_map
 from ..parallel.seeding import seed_for
@@ -25,7 +26,12 @@ from .suites import benchmark_names, get_benchmark
 from .systems import SystemModel, get_system
 from .variability import RuntimeLaw
 
-__all__ = ["SimulatedPerfRunner", "run_campaign", "measure_all"]
+__all__ = [
+    "SimulatedPerfRunner",
+    "run_campaign",
+    "measure_all",
+    "cached_measure_all",
+]
 
 _DEFAULT_ROOT_SEED = 777
 
@@ -85,6 +91,51 @@ def measure_all(
     tasks = [(b, sys_name, n_runs, root_seed) for b in names]
     results = parallel_map(_run_one, tasks, n_workers=n_workers)
     return {c.benchmark: c for c in results}
+
+
+#: Process-wide cache behind :func:`cached_measure_all` (memory LRU plus
+#: the ``REPRO_CACHE_DIR`` disk tier when that variable is set).
+_DEFAULT_CACHE: CampaignCache | None = None
+
+
+def cached_measure_all(
+    system: str | SystemModel,
+    *,
+    benchmarks: tuple[str, ...] | None = None,
+    n_runs: int = 1000,
+    root_seed: int = _DEFAULT_ROOT_SEED,
+    n_workers: int | None = None,
+    cache: CampaignCache | None = None,
+) -> dict[str, RunCampaign]:
+    """:func:`measure_all` behind a persistent campaign cache.
+
+    Campaign sets are content-addressed by (system, roster, n_runs,
+    root_seed), so a hit — from the in-memory LRU or the on-disk tier —
+    is bit-identical to a fresh simulation.  Pass an explicit
+    :class:`~repro.data.campaign_cache.CampaignCache` to control
+    placement; the default shared cache persists to ``REPRO_CACHE_DIR``
+    when that environment variable is set and stays in memory otherwise.
+    """
+    global _DEFAULT_CACHE
+    if cache is None:
+        if _DEFAULT_CACHE is None:
+            _DEFAULT_CACHE = CampaignCache()
+        cache = _DEFAULT_CACHE
+    sys_name = system if isinstance(system, str) else system.name
+    names = tuple(benchmarks if benchmarks is not None else benchmark_names())
+    return cache.get_or_measure(
+        sys_name,
+        names,
+        n_runs,
+        root_seed,
+        lambda: measure_all(
+            sys_name,
+            benchmarks=names,
+            n_runs=n_runs,
+            root_seed=root_seed,
+            n_workers=n_workers,
+        ),
+    )
 
 
 @dataclass

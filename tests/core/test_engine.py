@@ -1,0 +1,179 @@
+"""Tests for the shared-featurization LOGO evaluation engine.
+
+The engine's contract is sharing without drift: designs must reproduce
+the naive per-cell featurization bit for bit, memoized fold vectors must
+equal freshly computed ones, and worker count must never change results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import CrossSystemDesign, FewRunsDesign, logo_fold_vectors
+from repro.core.evaluation import evaluate_cross_system, evaluate_few_runs
+from repro.core.predictors import build_cross_system_rows, build_few_runs_rows
+from repro.core.representations import (
+    HistogramRepresentation,
+    PearsonRndRepresentation,
+    PyMaxEntRepresentation,
+    get_representation,
+)
+from repro.ml.knn import KNNRegressor
+from repro.simbench.runner import measure_all
+
+BENCHES = ("npb/cg", "npb/is", "npb/bt", "rodinia/heartwall", "parsec/canneal")
+
+
+@pytest.fixture(scope="module")
+def small_intel():
+    return measure_all("intel", benchmarks=BENCHES, n_runs=80, root_seed=11)
+
+
+@pytest.fixture(scope="module")
+def small_amd():
+    return measure_all("amd", benchmarks=BENCHES, n_runs=80, root_seed=11)
+
+
+class TestEncodingKeys:
+    def test_moment_representations_share_encoding(self):
+        assert (
+            PyMaxEntRepresentation().encoding_key
+            == PearsonRndRepresentation().encoding_key
+        )
+
+    def test_histogram_key_tracks_grid(self):
+        a = HistogramRepresentation()
+        assert a.encoding_key != PearsonRndRepresentation().encoding_key
+        assert "histogram" in a.encoding_key
+
+    def test_quantile_key_tracks_size(self):
+        q = get_representation("quantile")
+        assert q.encoding_key == f"quantile:{q.n_quantiles}"
+
+
+class TestFewRunsDesign:
+    def test_rows_match_build_few_runs_rows(self, small_intel):
+        rep = PearsonRndRepresentation()
+        design = FewRunsDesign(small_intel, n_probe_runs=8, n_replicas=3, seed=5)
+        X, Y, groups = design.rows(rep)
+        X2, Y2, groups2 = build_few_runs_rows(
+            small_intel, rep, n_probe_runs=8, n_replicas=3, seed=5
+        )
+        assert np.array_equal(X, X2)
+        assert np.array_equal(Y, Y2)
+        assert np.array_equal(groups, groups2)
+
+    def test_target_matrix_cached_per_encoding(self, small_intel):
+        design = FewRunsDesign(small_intel, n_probe_runs=8, n_replicas=2)
+        Y1 = design.target_matrix(PyMaxEntRepresentation())
+        Y2 = design.target_matrix(PearsonRndRepresentation())
+        assert Y1 is Y2  # shared encoding -> same cached matrix
+        Yh = design.target_matrix(HistogramRepresentation())
+        assert Yh.shape[1] != Y1.shape[1]
+
+    def test_fold_vector_cache_hits_are_identical(self, small_intel):
+        design = FewRunsDesign(small_intel, n_probe_runs=8, n_replicas=2)
+        model = KNNRegressor(3, metric="cosine")
+        v1 = design.fold_vectors(model, PyMaxEntRepresentation(), model_key="knn3")
+        v2 = design.fold_vectors(model, PearsonRndRepresentation(), model_key="knn3")
+        assert v1 is v2  # same (model, encoding) pair
+        fresh = design.fold_vectors(model, PearsonRndRepresentation(), model_key=None)
+        for bench in v1:
+            assert np.array_equal(v1[bench], fresh[bench])
+
+
+class TestCrossSystemDesign:
+    def test_rows_match_build_cross_system_rows(self, small_amd, small_intel):
+        rep = HistogramRepresentation()
+        design = CrossSystemDesign(small_amd, small_intel, n_replicas=3, seed=9)
+        X, Y, groups = design.rows(rep)
+        X2, Y2, groups2 = build_cross_system_rows(
+            small_amd, small_intel, rep, n_replicas=3, seed=9
+        )
+        assert np.array_equal(X, X2)
+        assert np.array_equal(Y, Y2)
+        assert np.array_equal(groups, groups2)
+
+    def test_probe_matrix_matches_naive_concat(self, small_amd, small_intel):
+        from repro.core.features import profile_features
+
+        rep = PearsonRndRepresentation()
+        design = CrossSystemDesign(small_amd, small_intel, n_replicas=2)
+        probe = design.probe_matrix(rep)
+        for name in BENCHES:
+            expected = np.concatenate(
+                [
+                    profile_features(small_amd[name], None),
+                    rep.encode(small_amd[name].relative_times()),
+                ]
+            )
+            assert np.array_equal(probe[name], expected)
+
+
+class TestWorkerDeterminism:
+    """n_workers must never change results (bit-identical fan-out)."""
+
+    def test_logo_fold_vectors_serial_vs_parallel(self, small_intel):
+        rep = PearsonRndRepresentation()
+        design = FewRunsDesign(small_intel, n_probe_runs=8, n_replicas=2)
+        X, Y, groups = design.rows(rep)
+        model = KNNRegressor(3, metric="cosine")
+        serial = logo_fold_vectors(
+            X, Y, groups, design.probe_features, model, n_workers=1
+        )
+        parallel = logo_fold_vectors(
+            X, Y, groups, design.probe_features, model, n_workers=2
+        )
+        assert sorted(serial) == sorted(parallel)
+        for bench in serial:
+            assert np.array_equal(serial[bench], parallel[bench])
+
+    def test_evaluate_few_runs_serial_vs_parallel(self, small_intel):
+        kw = dict(
+            representation=PearsonRndRepresentation(),
+            model="knn",
+            n_probe_runs=8,
+            n_replicas=2,
+        )
+        t1 = evaluate_few_runs(small_intel, n_workers=1, **kw)
+        t2 = evaluate_few_runs(small_intel, n_workers=2, **kw)
+        assert np.array_equal(np.asarray(t1["ks"]), np.asarray(t2["ks"]))
+
+    def test_evaluate_cross_system_serial_vs_parallel(self, small_amd, small_intel):
+        kw = dict(
+            representation=HistogramRepresentation(),
+            model="knn",
+            n_replicas=2,
+        )
+        t1 = evaluate_cross_system(small_amd, small_intel, n_workers=1, **kw)
+        t2 = evaluate_cross_system(small_amd, small_intel, n_workers=2, **kw)
+        assert np.array_equal(np.asarray(t1["ks"]), np.asarray(t2["ks"]))
+
+    def test_stateful_generator_model_stays_serial(self, small_intel):
+        from repro.core.engine import _wants_serial
+
+        assert _wants_serial(
+            KNNRegressor(3, metric="cosine")
+        ) is False
+        rf_like = KNNRegressor(3, metric="cosine")
+        rf_like.rng = np.random.default_rng(0)
+        assert _wants_serial(rf_like) is True
+
+
+class TestDesignReuseMatchesPerCellEvaluation:
+    def test_shared_design_equals_fresh_evaluations(self, small_intel):
+        design = FewRunsDesign(small_intel, n_probe_runs=8, n_replicas=2, seed=616161)
+        for rep_name in ("histogram", "pymaxent", "pearsonrnd"):
+            rep = get_representation(rep_name)
+            shared = evaluate_few_runs(
+                None, representation=rep, model="knn", design=design
+            )
+            fresh = evaluate_few_runs(
+                small_intel,
+                representation=rep,
+                model="knn",
+                n_probe_runs=8,
+                n_replicas=2,
+            )
+            assert np.array_equal(
+                np.asarray(shared["ks"]), np.asarray(fresh["ks"])
+            ), rep_name

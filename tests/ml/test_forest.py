@@ -62,3 +62,17 @@ class TestRandomForest:
         y = np.full(30, 5.0)
         m = RandomForestRegressor(5, rng=0).fit(X, y)
         assert np.allclose(m.predict(X), 5.0)
+
+
+class TestTreeLevelParallelism:
+    def test_n_jobs_does_not_change_predictions(self, rng):
+        X = np.asarray(rng.normal(size=(120, 6)))
+        y = rng.normal(size=(120, 3))
+        Xt = rng.normal(size=(15, 6))
+        serial = RandomForestRegressor(8, rng=42, n_jobs=1).fit(X, y).predict(Xt)
+        threaded = RandomForestRegressor(8, rng=42, n_jobs=2).fit(X, y).predict(Xt)
+        assert np.array_equal(serial, threaded)
+
+    def test_n_jobs_survives_clone(self):
+        m = RandomForestRegressor(4, rng=0, n_jobs=3)
+        assert m.clone().n_jobs == 3

@@ -11,6 +11,10 @@ def square(x):
     return x * x
 
 
+def explode(x):
+    raise ValueError(f"bad item {x}")
+
+
 class TestParallelMap:
     def test_order_preserved_serial(self):
         assert parallel_map(square, range(10), n_workers=1) == [
@@ -37,6 +41,17 @@ class TestParallelMap:
         assert default_workers() == 3
         monkeypatch.setenv("REPRO_WORKERS", "garbage")
         assert default_workers() >= 1
+
+    def test_task_exception_propagates_serial(self):
+        with pytest.raises(ValueError, match="bad item 0"):
+            parallel_map(explode, range(5), n_workers=1)
+
+    def test_task_exception_propagates_parallel(self):
+        # A genuine task failure must surface, not be silently retried
+        # on the serial fallback path (which would raise it twice as
+        # slowly and hide the pool's behavior).
+        with pytest.raises(ValueError, match="bad item"):
+            parallel_map(explode, range(5), n_workers=2, chunk_size=2)
 
 
 class TestSeeding:

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Machine-readable perf record of the evaluation engine.
+
+Runs the Fig. 4 grid (``representation_model_grid``) at
+``REPRO_BENCH_SCALE=small`` through the shared-featurization engine,
+records per-stage wall times plus a KS checksum to
+``results/BENCH_eval.json``, then runs the tier-1 test suite and fails
+(non-zero exit) if it regresses.
+
+Usage::
+
+    python tools/bench_report.py            # default workers
+    REPRO_WORKERS=4 python tools/bench_report.py
+
+The KS checksum is scale- and seed-deterministic: any run at the same
+scale must reproduce it bit-for-bit, regardless of worker count or
+campaign-cache state.  Compare records across commits to track the
+engine's speed without re-deriving baselines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results"
+
+sys.path.insert(0, str(ROOT / "src"))
+os.environ.setdefault("REPRO_BENCH_SCALE", "small")
+os.environ.setdefault("REPRO_CACHE_DIR", str(ROOT / ".repro_cache"))
+
+
+def run_grid() -> dict:
+    import numpy as np
+
+    from repro.experiments.reporting import StageTimer
+    from repro.experiments.usecase1 import representation_model_grid
+    from repro.parallel.pool import default_workers
+
+    sys.path.insert(0, str(ROOT / "benchmarks"))
+    from _shared import bench_config, intel_campaigns
+
+    cfg = bench_config()
+    n_workers = default_workers()
+    from dataclasses import replace
+
+    cfg = replace(cfg, n_workers=n_workers)
+
+    timer = StageTimer()
+    t0 = time.perf_counter()
+    with timer.time("measure"):
+        campaigns = intel_campaigns()
+    grid = representation_model_grid(campaigns, cfg, timer=timer)
+    wall = time.perf_counter() - t0
+
+    ks = np.asarray(grid["ks"], dtype=np.float64)
+    return {
+        "benchmark": "fig4_uc1_grid",
+        "scale": os.environ["REPRO_BENCH_SCALE"],
+        "n_benchmarks": len(campaigns),
+        "n_runs": cfg.n_runs,
+        "n_workers": n_workers,
+        "stages_s": timer.as_dict(),
+        "wall_s": wall,
+        "ks_checksum": float(ks.sum()),
+        "n_grid_rows": int(len(ks)),
+    }
+
+
+def run_tier1() -> bool:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q"],
+        cwd=str(ROOT),
+        env=env,
+    )
+    return proc.returncode == 0
+
+
+def main() -> int:
+    record = run_grid()
+    stages = " | ".join(f"{k} {v:.2f}s" for k, v in record["stages_s"].items())
+    print(f"[bench] {record['benchmark']} scale={record['scale']} "
+          f"workers={record['n_workers']}: {stages} (wall {record['wall_s']:.2f}s)")
+    print(f"[bench] ks_checksum={record['ks_checksum']!r}")
+
+    record["tier1_passed"] = run_tier1()
+
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    out = RESULTS / "BENCH_eval.json"
+    with open(out, "w") as fh:
+        json.dump(record, fh, indent=2)
+    print(f"[bench] wrote {out}")
+
+    if not record["tier1_passed"]:
+        print("[bench] tier-1 tests FAILED — treating as regression", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
