@@ -23,7 +23,8 @@ Package map
 * :mod:`repro.data` — campaign containers, metric catalogs, mini-table;
 * :mod:`repro.experiments` — per-figure/table reproduction runners;
 * :mod:`repro.viz` — terminal density plots and series export;
-* :mod:`repro.parallel` — deterministic seeding + process-pool map.
+* :mod:`repro.parallel` — deterministic seeding + process-pool map;
+* :mod:`repro.obs` — metrics/tracing (contract in docs/OBSERVABILITY.md).
 """
 
 from .core import (

@@ -32,12 +32,18 @@ construction — each held-out benchmark refit consumes only per-fold
 inputs, and the KS-scoring RNG is keyed per benchmark with
 :func:`~repro.parallel.seeding.seed_for` — so worker count never changes
 results.
+
+When :mod:`repro.obs` is enabled the engine emits per-fold ``fold``
+spans (serial path) or one ``fold_batch`` span (parallel dispatch) plus
+the ``engine.*`` dedup/hit counters documented in
+``docs/OBSERVABILITY.md``; all of it is bit-neutral bookkeeping.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from .._validation import check_positive_int, check_random_state
 from ..data.dataset import RunCampaign
 from ..errors import ValidationError
@@ -105,6 +111,7 @@ def logo_fold_vectors(
     for bench in names:
         cached = None if scaled_folds is None else scaled_folds.get(bench)
         if cached is None:
+            obs.counter("engine.scaled_folds.misses")
             mask = groups != bench
             scaler = RobustScaler().fit(X[mask])
             cached = (
@@ -114,12 +121,19 @@ def logo_fold_vectors(
             )
             if scaled_folds is not None:
                 scaled_folds[bench] = cached
+        else:
+            obs.counter("engine.scaled_folds.hits")
         folds.append(cached)
     tasks = [(model, Xs, Y[mask], xp) for Xs, xp, mask in folds]
+    obs.counter("engine.folds.fitted", len(tasks))
     if n_workers == 1 or _wants_serial(model):
-        vectors = [_fit_predict_fold(t) for t in tasks]
+        vectors = []
+        for bench, task in zip(names, tasks):
+            with obs.span("fold", benchmark=bench):
+                vectors.append(_fit_predict_fold(task))
     else:
-        vectors = parallel_map(_fit_predict_fold, tasks, n_workers=n_workers)
+        with obs.span("fold_batch", n_folds=len(tasks), n_workers=n_workers):
+            vectors = parallel_map(_fit_predict_fold, tasks, n_workers=n_workers)
     return dict(zip(names, vectors))
 
 
@@ -148,7 +162,9 @@ class _VectorCacheMixin:
             key = (model_key, representation.encoding_key)
             hit = self._fold_vectors.get(key)
             if hit is not None:
+                obs.counter("engine.fold_vectors.hits")
                 return hit
+        obs.counter("engine.fold_vectors.misses")
         vectors = self._compute_fold_vectors(
             model, representation, n_workers=n_workers
         )
@@ -223,12 +239,15 @@ class FewRunsDesign(_VectorCacheMixin):
         key = representation.encoding_key
         Y = self._targets.get(key)
         if Y is None:
+            obs.counter("engine.targets.misses")
             rows = []
             for name in self.names:
                 target = representation.encode(self.measured[name])
                 rows.extend([target] * self.n_replicas)
             Y = np.asarray(rows)
             self._targets[key] = Y
+        else:
+            obs.counter("engine.targets.hits")
         return Y
 
     def rows(self, representation: DistributionRepresentation):
@@ -317,6 +336,7 @@ class CrossSystemDesign(_VectorCacheMixin):
         key = representation.encoding_key
         cached = self._matrices.get(key)
         if cached is None:
+            obs.counter("engine.targets.misses")
             rows_x, rows_y = [], []
             probe: dict[str, np.ndarray] = {}
             for name in self.names:
@@ -335,6 +355,8 @@ class CrossSystemDesign(_VectorCacheMixin):
                 )
             cached = (np.asarray(rows_x), np.asarray(rows_y), probe, {})
             self._matrices[key] = cached
+        else:
+            obs.counter("engine.targets.hits")
         return cached
 
     def _compute_fold_vectors(self, model, representation, *, n_workers):

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from .._validation import check_random_state
 from ..data.dataset import RunCampaign
 from ..data.table import ColumnTable
@@ -110,6 +111,7 @@ def score_fold_vectors(
         ks_scores.append(
             representation.ks_score(vectors[bench], measured[bench], rng=rng)
         )
+    obs.counter("engine.ks.scored", len(names))
     return ColumnTable(
         {
             "benchmark": names,

@@ -22,6 +22,11 @@ memory-only.  This module deliberately knows nothing about the
 simulator: :meth:`CampaignCache.get_or_measure` takes the measurement
 callable from the caller (see
 :func:`repro.simbench.runner.cached_measure_all`).
+
+With :mod:`repro.obs` enabled, lookups emit the ``cache.*`` counters
+(memory/disk hits, misses, evictions, corruptions, bytes moved) and disk
+I/O is wrapped in ``cache.disk_load``/``cache.disk_save`` spans; see
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from typing import Callable
 
 import numpy as np
 
+from .. import obs
 from ..parallel.seeding import stable_hash
 from .dataset import RunCampaign
 
@@ -100,12 +106,15 @@ class CampaignCache:
         key = campaign_set_key(system, tuple(benchmarks), n_runs, root_seed)
         hit = self._memory.get(key)
         if hit is not None:
+            obs.counter("cache.memory.hits")
             self._memory.move_to_end(key)
             return dict(hit)
         loaded = self._load_disk(key)
         if loaded is not None:
+            obs.counter("cache.disk.hits")
             self._remember(key, loaded)
             return dict(loaded)
+        obs.counter("cache.misses")
         return None
 
     def put(
@@ -153,6 +162,7 @@ class CampaignCache:
         self._memory[key] = campaigns
         self._memory.move_to_end(key)
         while len(self._memory) > self.max_memory_items:
+            obs.counter("cache.evictions")
             self._memory.popitem(last=False)
 
     def _disk_path(self, key: str) -> Path:
@@ -174,14 +184,16 @@ class CampaignCache:
             dir=str(self.root), prefix=f".{key}.", suffix=".tmp"
         )
         try:
-            with os.fdopen(fd, "wb") as fh:
-                np.savez_compressed(
-                    fh,
-                    runtimes=np.stack([c.runtimes for c in sets]),
-                    counters=np.stack([c.counters for c in sets]),
-                    meta=json.dumps(meta),
-                )
-            os.replace(tmp, path)
+            with obs.span("cache.disk_save", key=key):
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez_compressed(
+                        fh,
+                        runtimes=np.stack([c.runtimes for c in sets]),
+                        counters=np.stack([c.counters for c in sets]),
+                        meta=json.dumps(meta),
+                    )
+                os.replace(tmp, path)
+            obs.counter("cache.store_bytes", path.stat().st_size)
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)
@@ -194,13 +206,16 @@ class CampaignCache:
         if not path.exists():
             return None
         try:
-            with np.load(path, allow_pickle=False) as data:
-                meta = json.loads(str(data["meta"]))
-                runtimes = data["runtimes"]
-                counters = data["counters"]
+            with obs.span("cache.disk_load", key=key):
+                with np.load(path, allow_pickle=False) as data:
+                    meta = json.loads(str(data["meta"]))
+                    runtimes = data["runtimes"]
+                    counters = data["counters"]
+            obs.counter("cache.load_bytes", path.stat().st_size)
         except (OSError, ValueError, KeyError, json.JSONDecodeError):
             # A torn or foreign file is a miss, not an error; it will be
             # rewritten atomically after the next measurement.
+            obs.counter("cache.corruptions")
             return None
         metric_names = tuple(meta["metric_names"])
         return {

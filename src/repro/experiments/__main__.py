@@ -5,17 +5,24 @@ Regenerates the paper's figures/tables outside pytest.  Examples::
     python -m repro.experiments --list
     python -m repro.experiments fig1 fig3 --scale small
     python -m repro.experiments fig4 --scale medium --results-dir out/
+    python -m repro.experiments fig4 --trace results/trace_fig4.jsonl
 
 Each experiment prints its terminal rendering and exports its series to
-the results directory (CSV/JSON).
+the results directory (CSV/JSON).  ``--trace PATH`` (or the
+``REPRO_TRACE`` environment variable) additionally enables
+:mod:`repro.obs` and writes one JSONL observability trace per
+experiment — summarize it with ``python tools/trace_report.py PATH``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+from pathlib import Path
 
+from .. import obs
 from ..viz.export import export_series, export_table
 from . import figures, reporting, usecase1, usecase2
 from .config import PAPER_CONFIG, ExperimentConfig
@@ -36,6 +43,7 @@ def _config_for_scale(scale: str, workers: int) -> ExperimentConfig:
 
 
 def run_fig1(cfg, out):
+    """Fig. 1 — motivation: measured vs small-sample vs predicted KDEs."""
     campaigns = usecase1.measure_campaigns(cfg, "intel")
     data = figures.figure1(campaigns, cfg)
     from ..viz.ascii import density_ascii
@@ -58,6 +66,7 @@ def run_fig1(cfg, out):
 
 
 def run_fig3(cfg, out):
+    """Fig. 3 — relative-time distribution zoo on the Intel system."""
     campaigns = usecase1.measure_campaigns(cfg, "intel")
     from ..viz.ascii import density_ascii
 
@@ -67,6 +76,7 @@ def run_fig3(cfg, out):
 
 
 def run_fig4(cfg, out):
+    """Fig. 4 — UC1 representation x model grid (with stage timing)."""
     timer = reporting.StageTimer()
     with timer.time("measure"):
         campaigns = usecase1.measure_campaigns(cfg, "intel")
@@ -97,6 +107,7 @@ _FIG9_BENCHMARKS = (
 
 
 def run_fig5(cfg, out):
+    """Fig. 5 — UC1 measured-vs-predicted overlay examples."""
     from ..viz.ascii import overlay_ascii
 
     campaigns = usecase1.measure_campaigns(cfg, "intel")
@@ -111,6 +122,7 @@ def run_fig5(cfg, out):
 
 
 def run_fig9(cfg, out):
+    """Fig. 9 — UC2 measured-vs-predicted overlay examples."""
     from ..viz.ascii import overlay_ascii
 
     amd, intel = usecase2.measure_both_systems(cfg)
@@ -125,6 +137,7 @@ def run_fig9(cfg, out):
 
 
 def run_fig6(cfg, out):
+    """Fig. 6 — UC1 KS vs probe-sample count sweep."""
     campaigns = usecase1.measure_campaigns(cfg, "intel")
     sweep = usecase1.sample_count_sweep(campaigns, cfg)
     print(reporting.sweep_report(sweep, title="Fig. 6 — UC1 KS vs #samples"))
@@ -132,6 +145,7 @@ def run_fig6(cfg, out):
 
 
 def run_fig7(cfg, out):
+    """Fig. 7 — UC2 representation x model grid (with stage timing)."""
     timer = reporting.StageTimer()
     with timer.time("measure"):
         amd, intel = usecase2.measure_both_systems(cfg)
@@ -142,6 +156,7 @@ def run_fig7(cfg, out):
 
 
 def run_fig8(cfg, out):
+    """Fig. 8 — UC2 prediction-direction study."""
     amd, intel = usecase2.measure_both_systems(cfg)
     table = usecase2.direction_study(amd, intel, cfg)
     print(reporting.direction_report(table, title="Fig. 8 — UC2 direction study"))
@@ -149,6 +164,7 @@ def run_fig8(cfg, out):
 
 
 def run_tables(cfg, out):
+    """Tables I-III — roster and profiling-metric catalogs."""
     print(figures.table1().to_markdown())
     print()
     print(f"Table II/III: {len(figures.table2_3())} metrics")
@@ -169,7 +185,23 @@ EXPERIMENTS = {
 }
 
 
+def _trace_path(base: str, experiment: str, n_experiments: int) -> Path:
+    """Trace destination for one experiment under the ``--trace`` flag.
+
+    A single experiment writes exactly to the given path; with several
+    experiments the id is inserted before the suffix
+    (``trace.jsonl`` -> ``trace.fig4.jsonl``) so each run keeps its own
+    file.
+    """
+    path = Path(base)
+    if n_experiments == 1:
+        return path
+    suffix = path.suffix or ".jsonl"
+    return path.with_name(f"{path.stem}.{experiment.replace('/', '_')}{suffix}")
+
+
 def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's figures and tables.",
@@ -179,6 +211,13 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", default="small", choices=("paper", "medium", "small"))
     parser.add_argument("--results-dir", default=None)
     parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--trace",
+        default=os.environ.get("REPRO_TRACE") or None,
+        metavar="PATH",
+        help="enable repro.obs and write a JSONL trace per experiment "
+        "(default: the REPRO_TRACE environment variable)",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -193,7 +232,18 @@ def main(argv=None) -> int:
             return 2
         t0 = time.time()
         print(f"=== {name} (scale={args.scale}) ===")
+        if args.trace:
+            obs.enable()
         fn(cfg, args.results_dir)
+        if args.trace:
+            out = reporting.write_run_trace(
+                _trace_path(args.trace, name, len(args.experiments)),
+                experiment=name,
+                scale=args.scale,
+                n_workers=args.workers,
+            )
+            obs.disable()
+            print(f"[trace] wrote {out}")
         print(f"[{name} done in {time.time() - t0:.1f}s]\n")
     return 0
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from .._validation import check_random_state
 from ..core.engine import FewRunsDesign
 from ..core.evaluation import (
@@ -81,17 +82,18 @@ def representation_model_grid(
     for rep_name in config.representations:
         rep = get_representation(rep_name)
         for model_name in config.models:
-            with timer.time("fit"):
-                vectors = design.fold_vectors(
-                    get_model(model_name),
-                    rep,
-                    model_key=model_name,
-                    n_workers=config.n_workers,
-                )
-            with timer.time("score"):
-                tab = score_fold_vectors(
-                    vectors, rep, design.measured, seed=config.eval_seed
-                )
+            with obs.span("cell", representation=rep_name, model=model_name):
+                with timer.time("fit"):
+                    vectors = design.fold_vectors(
+                        get_model(model_name),
+                        rep,
+                        model_key=model_name,
+                        n_workers=config.n_workers,
+                    )
+                with timer.time("score"):
+                    tab = score_fold_vectors(
+                        vectors, rep, design.measured, seed=config.eval_seed
+                    )
             for row in tab.rows():
                 frames.append(
                     {

@@ -8,10 +8,12 @@ targets.
 
 from __future__ import annotations
 
+import time
 from functools import partial
 
 import numpy as np
 
+from .. import obs
 from .._validation import check_positive_int, check_random_state
 from ..parallel.pool import parallel_map
 from .base import Regressor, validate_fit_inputs
@@ -105,10 +107,18 @@ class RandomForestRegressor(Regressor):
             },
             self.bootstrap,
         )
-        if self.n_jobs == 1:
-            self.trees_ = [fit_tree(seq) for seq in seeds]
-        else:
-            self.trees_ = parallel_map(fit_tree, seeds, n_workers=self.n_jobs)
+        timing = obs.enabled()
+        t_fit = time.perf_counter() if timing else 0.0
+        with obs.span(
+            "forest.fit", n_estimators=self.n_estimators, n_jobs=self.n_jobs or 0
+        ):
+            if self.n_jobs == 1:
+                self.trees_ = [fit_tree(seq) for seq in seeds]
+            else:
+                self.trees_ = parallel_map(fit_tree, seeds, n_workers=self.n_jobs)
+        if timing:
+            obs.counter("forest.fits")
+            obs.observe("forest.fit_s", time.perf_counter() - t_fit)
         self.n_features_ = Xv.shape[1]
         self.n_outputs_ = yv.shape[1]
         return self

@@ -12,10 +12,12 @@ points.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from .._validation import check_positive_int, check_random_state
 from ..errors import ValidationError
 from .base import Regressor, validate_fit_inputs
@@ -196,6 +198,11 @@ class RegressionTree(Regressor):
         gen = check_random_state(self.rng)
         n, d = Xv.shape
         k = yv.shape[1]
+        # Split-kernel timing is sampled only when obs is recording; the
+        # flag is latched once per fit so the node loop stays branch-cheap.
+        timing = obs.enabled()
+        t_fit = time.perf_counter() if timing else 0.0
+        split_s = 0.0
         # One float32 cast for the whole fit; the split kernel accumulates
         # in float32 anyway, and per-node gathers of the pre-cast matrix
         # halve the memory traffic of the hottest path.
@@ -247,6 +254,7 @@ class RegressionTree(Regressor):
             best: tuple[float, int, float] | None = None
             Yn32 = yv32[idx]
             chunk_size = _feature_chunk(idx.size, k)
+            t_node = time.perf_counter() if timing else 0.0
             for start in range(0, cand.size, chunk_size):
                 chunk = cand[start : start + chunk_size]
                 # Gather straight into feature-major (f, n) C-order; the
@@ -257,6 +265,8 @@ class RegressionTree(Regressor):
                 )
                 if res is not None and (best is None or res[0] < best[0]):
                     best = res
+            if timing:
+                split_s += time.perf_counter() - t_node
             if best is None:
                 continue
             _, feat, thr = best
@@ -280,6 +290,11 @@ class RegressionTree(Regressor):
         self._value = np.asarray(values, dtype=np.float64)
         self.n_features_ = d
         self.n_outputs_ = k
+        if timing:
+            obs.counter("tree.fits")
+            obs.counter("tree.nodes", len(features))
+            obs.observe("tree.split_search_s", split_s)
+            obs.observe("tree.fit_s", time.perf_counter() - t_fit)
         return self
 
     @property

@@ -1,0 +1,83 @@
+"""repro.obs — structured observability for the evaluation engine.
+
+One process-wide facade over three primitives:
+
+* **metrics** — counters / gauges / histograms in a
+  :class:`~repro.obs.registry.MetricsRegistry`
+  (:func:`counter`, :func:`gauge`, :func:`observe`);
+* **tracing** — hierarchical, monotonic-clocked spans
+  (:func:`span`) buffered as plain-dict events;
+* **trace files** — a versioned JSONL export of one run
+  (:func:`write_trace` / :func:`read_trace` / :func:`validate_trace`).
+
+Everything is off by default: until :func:`enable` is called, every
+helper is a cheap early-return and :func:`span` hands back one shared
+no-op context manager, so instrumented hot paths pay no allocation and
+record no state.  Enabling observability is bit-neutral — no RNG is
+touched — so results (KS checksums included) are identical with obs on
+or off, at any worker count.
+
+The full metrics/trace contract — every metric name, its unit and
+emitting module, the JSONL schema, and the stability promise — is
+documented in ``docs/OBSERVABILITY.md`` and enforced by
+``tests/obs/test_contract.py``.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    grid = representation_model_grid(campaigns, cfg)
+    obs.write_trace("results/trace_fig4.jsonl", meta={"experiment": "fig4"})
+    print(obs.run_summary()["cache"]["hit_rate"])
+"""
+
+from .registry import HistogramSummary, MetricsRegistry
+from .summary import run_summary, summarize_records
+from .trace_io import (
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_VERSION,
+    cell_walls,
+    read_trace,
+    stage_totals,
+    trace_records,
+    validate_trace,
+    write_trace,
+)
+from .tracing import (
+    counter,
+    disable,
+    enable,
+    enabled,
+    events,
+    gauge,
+    get_registry,
+    observe,
+    reset,
+    span,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "HistogramSummary",
+    "enabled",
+    "enable",
+    "disable",
+    "reset",
+    "span",
+    "counter",
+    "gauge",
+    "observe",
+    "get_registry",
+    "events",
+    "TRACE_SCHEMA",
+    "TRACE_SCHEMA_VERSION",
+    "trace_records",
+    "write_trace",
+    "read_trace",
+    "validate_trace",
+    "stage_totals",
+    "cell_walls",
+    "run_summary",
+    "summarize_records",
+]

@@ -1,0 +1,144 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The registry is deliberately tiny — three metric kinds, one lock, plain
+dict storage — because its job is bookkeeping, not analysis.  Analysis
+lives downstream of :meth:`MetricsRegistry.snapshot`, which renders the
+whole registry as deterministic, JSON-ready data (names sorted, values
+plain Python scalars).
+
+Metric kinds
+------------
+counter
+    Monotonically increasing integer (events, cache hits, rows fitted).
+gauge
+    Last-write-wins float (utilization, pickle payload size).
+histogram
+    Streaming summary of observed values: count, total, min, max, plus
+    power-of-two bucket counts (bucket ``b`` holds values in
+    ``[2**b, 2**(b+1))``), enough for latency distributions without
+    storing samples.
+
+Naming contract: ``<area>.<object>.<verb-or-unit>`` with areas
+``engine``, ``pool``, ``cache``, ``tree``, ``forest``, ``simbench``.
+Every name emitted by the library is documented in
+``docs/OBSERVABILITY.md``; a tier-1 test enforces that.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = ["MetricsRegistry", "HistogramSummary"]
+
+
+class HistogramSummary:
+    """Streaming summary of one histogram metric (no samples retained)."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        #: log2-bucket index -> observation count.
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        v = float(value)
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        b = math.frexp(v)[1] - 1 if v > 0.0 else -1074
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready rendering with sorted bucket keys."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "buckets": {str(k): self.buckets[k] for k in sorted(self.buckets)},
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe store of named counters, gauges and histograms.
+
+    One shared instance backs the module-level :mod:`repro.obs` facade;
+    tests construct private instances to assert in isolation.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, HistogramSummary] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def counter_add(self, name: str, value: int = 1) -> None:
+        """Add *value* (default 1) to counter *name*, creating it at 0."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(value)
+
+    def gauge_set(self, name: str, value: float) -> None:
+        """Set gauge *name* to *value* (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def histogram_observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram *name*."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = HistogramSummary()
+            hist.observe(value)
+
+    # -- reading -------------------------------------------------------------
+
+    def counter_value(self, name: str) -> int:
+        """Current value of counter *name* (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str) -> float | None:
+        """Current value of gauge *name* (None if never set)."""
+        with self._lock:
+            return self._gauges.get(name)
+
+    def snapshot(self) -> dict:
+        """Deterministic JSON-ready dump of every metric.
+
+        Names are sorted; histogram summaries are rendered via
+        :meth:`HistogramSummary.as_dict`.  Two registries that saw the
+        same updates produce identical snapshots.
+        """
+        with self._lock:
+            return {
+                "counters": {k: self._counters[k] for k in sorted(self._counters)},
+                "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+                "histograms": {
+                    k: self._histograms[k].as_dict()
+                    for k in sorted(self._histograms)
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every metric (used between experiment runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

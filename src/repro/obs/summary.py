@@ -1,0 +1,81 @@
+"""Derived summaries of one observability run.
+
+Raw counters answer "how many"; the perf record and the trace report
+both want ratios — cache hit rate, encoding-dedup rate, worker
+utilization — next to the per-stage wall-time totals.  This module
+derives them in one place so ``tools/bench_report.py`` and
+``tools/trace_report.py`` embed the same numbers (schema documented in
+``docs/OBSERVABILITY.md`` and ``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+from . import tracing
+from .trace_io import stage_totals
+
+__all__ = ["run_summary", "summarize_records"]
+
+
+def _rate(hits: int, misses: int) -> float | None:
+    total = hits + misses
+    return hits / total if total else None
+
+
+def summarize_records(records: list[dict]) -> dict:
+    """:func:`run_summary` over parsed trace records instead of live state."""
+    counters = {
+        r["name"]: r["value"] for r in records if r.get("type") == "counter"
+    }
+    gauges = {r["name"]: r["value"] for r in records if r.get("type") == "gauge"}
+    return _summarize(counters, gauges, stage_totals(records))
+
+
+def run_summary() -> dict:
+    """Summary of the live process-wide run (registry + event buffer).
+
+    Keys: ``stages_s`` (per-stage totals from ``stage`` spans),
+    ``cache`` (hit/miss counts and ``hit_rate``), ``engine``
+    (fold counts and dedup rates) and ``pool`` (utilization and payload
+    gauges).  Rates are ``None`` when the corresponding path never ran.
+    """
+    from .trace_io import trace_records
+
+    return summarize_records(trace_records())
+
+
+def _summarize(counters: dict, gauges: dict, stages: dict[str, float]) -> dict:
+    c = counters.get
+    cache_hits = c("cache.memory.hits", 0) + c("cache.disk.hits", 0)
+    return {
+        "stages_s": stages,
+        "cache": {
+            "memory_hits": c("cache.memory.hits", 0),
+            "disk_hits": c("cache.disk.hits", 0),
+            "misses": c("cache.misses", 0),
+            "evictions": c("cache.evictions", 0),
+            "corruptions": c("cache.corruptions", 0),
+            "load_bytes": c("cache.load_bytes", 0),
+            "store_bytes": c("cache.store_bytes", 0),
+            "hit_rate": _rate(cache_hits, c("cache.misses", 0)),
+        },
+        "engine": {
+            "folds_fitted": c("engine.folds.fitted", 0),
+            "ks_scored": c("engine.ks.scored", 0),
+            "fold_vector_hit_rate": _rate(
+                c("engine.fold_vectors.hits", 0), c("engine.fold_vectors.misses", 0)
+            ),
+            "target_hit_rate": _rate(
+                c("engine.targets.hits", 0), c("engine.targets.misses", 0)
+            ),
+            "scaled_fold_hit_rate": _rate(
+                c("engine.scaled_folds.hits", 0), c("engine.scaled_folds.misses", 0)
+            ),
+        },
+        "pool": {
+            "map_calls": c("pool.map.calls", 0),
+            "items": c("pool.map.items", 0),
+            "serial_inline": c("pool.map.serial_inline", 0),
+            "worker_utilization": gauges.get("pool.worker_utilization"),
+            "fn_pickle_bytes": gauges.get("pool.fn_pickle_bytes"),
+        },
+    }

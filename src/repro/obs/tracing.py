@@ -1,0 +1,207 @@
+"""Hierarchical tracing spans with a zero-overhead disabled mode.
+
+A *span* is a named, timed region of code with key/value attributes and
+a parent link, forming a per-thread tree::
+
+    with span("cell", representation="pearsonrnd", model="knn"):
+        with span("stage", stage="fit"):
+            ...
+
+Spans use :func:`time.perf_counter` (monotonic) and record, on exit, a
+plain-dict event into the process-wide event buffer: sequence number
+(assigned at span *start*, so workers=1 traces replay program order),
+parent sequence number, start offset relative to :func:`enable` time,
+duration, process id and thread name.  The buffer is serialized by
+:mod:`repro.obs.trace_io`.
+
+Disabled mode (the default) is the hot-path contract: :func:`span`
+returns one shared no-op context manager and the metric helpers return
+immediately, so instrumented code retains **no** allocations and mutates
+no state when observability is off.  ``tests/obs/test_tracing.py``
+asserts this.  Instrumentation must also be *bit-neutral*: nothing in
+this module touches any RNG, so enabling observability can never change
+numerical results.
+
+Metrics recorded in worker processes die with the worker; the metrics
+contract therefore only covers parent-process emission points (see
+``docs/OBSERVABILITY.md`` for which names are deterministic across
+worker counts).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from .registry import MetricsRegistry
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "reset",
+    "span",
+    "counter",
+    "gauge",
+    "observe",
+    "get_registry",
+    "events",
+]
+
+
+class _ObsState:
+    """Process-wide observability state (one instance, module-private)."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.registry = MetricsRegistry()
+        self.events: list[dict] = []
+        self.lock = threading.Lock()
+        self.seq = 0
+        self.t0 = time.perf_counter()
+        self.local = threading.local()
+
+    def next_seq(self) -> int:
+        with self.lock:
+            self.seq += 1
+            return self.seq
+
+    def stack(self) -> list:
+        stk = getattr(self.local, "stack", None)
+        if stk is None:
+            stk = self.local.stack = []
+        return stk
+
+
+_STATE = _ObsState()
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """A live span; records its event into the buffer on exit."""
+
+    __slots__ = ("name", "attrs", "seq", "parent", "t_start")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.seq = 0
+        self.parent = 0
+        self.t_start = 0.0
+
+    def __enter__(self) -> "_Span":
+        st = _STATE
+        stack = st.stack()
+        self.parent = stack[-1].seq if stack else 0
+        self.seq = st.next_seq()
+        stack.append(self)
+        self.t_start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        t_end = time.perf_counter()
+        st = _STATE
+        stack = st.stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        event = {
+            "type": "span",
+            "name": self.name,
+            "seq": self.seq,
+            "parent": self.parent,
+            "t_start_s": self.t_start - st.t0,
+            "dur_s": t_end - self.t_start,
+            "pid": os.getpid(),
+            "thread": threading.current_thread().name,
+        }
+        if self.attrs:
+            event["attrs"] = self.attrs
+        with st.lock:
+            st.events.append(event)
+
+
+def enabled() -> bool:
+    """Whether observability is currently recording."""
+    return _STATE.enabled
+
+
+def enable(*, fresh: bool = True) -> None:
+    """Turn recording on.
+
+    With ``fresh`` (the default) the metric registry, event buffer and
+    trace clock are reset first, so one :func:`enable` call corresponds
+    to one trace file.
+    """
+    if fresh:
+        reset()
+    _STATE.enabled = True
+
+
+def disable() -> None:
+    """Turn recording off (buffered events and metrics are kept)."""
+    _STATE.enabled = False
+
+
+def reset() -> None:
+    """Clear all metrics and buffered events and restart the trace clock."""
+    st = _STATE
+    st.registry.reset()
+    with st.lock:
+        st.events.clear()
+        st.seq = 0
+    st.t0 = time.perf_counter()
+
+
+def span(name: str, **attrs):
+    """Context manager timing a named region; no-op while disabled.
+
+    Attributes must be JSON-serializable scalars (strings, numbers,
+    booleans); they are written verbatim into the trace event.
+    """
+    if not _STATE.enabled:
+        return _NOOP
+    return _Span(name, attrs)
+
+
+def counter(name: str, value: int = 1) -> None:
+    """Increment a registry counter; no-op while disabled."""
+    if _STATE.enabled:
+        _STATE.registry.counter_add(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a registry gauge; no-op while disabled."""
+    if _STATE.enabled:
+        _STATE.registry.gauge_set(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation; no-op while disabled."""
+    if _STATE.enabled:
+        _STATE.registry.histogram_observe(name, value)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide metrics registry (live even while disabled)."""
+    return _STATE.registry
+
+
+def events() -> list[dict]:
+    """A snapshot copy of the buffered span events, in completion order."""
+    with _STATE.lock:
+        return list(_STATE.events)

@@ -11,16 +11,26 @@ library needs:
   inline — important under pytest where workers can be restricted);
 * deterministic behaviour: parallelism never changes results because all
   randomness flows through per-task seeds (:mod:`repro.parallel.seeding`).
+
+With :mod:`repro.obs` enabled, every call emits the ``pool.*`` dispatch
+telemetry (task counts, per-chunk wait-latency histogram, pickled-callable
+payload gauge, worker-utilization estimate) documented in
+``docs/OBSERVABILITY.md``.  Dispatch telemetry is topology-dependent by
+nature — chunk counts and latencies change with the worker count — and is
+therefore excluded from the cross-worker determinism promise that the
+``engine.*``/``cache.*``/``simbench.*`` counters carry.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from .. import obs
 from .._validation import check_positive_int
 
 __all__ = ["parallel_map", "default_workers"]
@@ -42,6 +52,20 @@ def default_workers() -> int:
 
 def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> list[R]:
     return [fn(item) for item in chunk]
+
+
+def _run_chunk_timed(
+    fn: Callable[[T], R], chunk: Sequence[T]
+) -> tuple[list[R], float]:
+    """:func:`_run_chunk` plus the worker-side busy time, for utilization.
+
+    Used instead of :func:`_run_chunk` when :mod:`repro.obs` is enabled
+    in the parent; the timing wrapper cannot change results because the
+    items are processed identically.
+    """
+    t0 = time.perf_counter()
+    results = [fn(item) for item in chunk]
+    return results, time.perf_counter() - t0
 
 
 def _is_picklable(fn: Callable) -> bool:
@@ -82,27 +106,61 @@ def parallel_map(
     work = list(items)
     if not work:
         return []
+    obs.counter("pool.map.calls")
+    obs.counter("pool.map.items", len(work))
     workers = default_workers() if n_workers is None else check_positive_int(n_workers, name="n_workers")
     workers = min(workers, len(work))
     if workers == 1:
+        obs.counter("pool.map.serial_inline")
         return [fn(item) for item in work]
     if not _is_picklable(fn):
         # Closures and lambdas cannot cross process boundaries; run
         # inline rather than letting every pool task fail.
+        obs.counter("pool.map.unpicklable")
+        obs.counter("pool.map.serial_inline")
         return [fn(item) for item in work]
     if chunk_size is None:
         chunk_size = max(1, -(-len(work) // (4 * workers)))
     chunks = [work[i : i + chunk_size] for i in range(0, len(work), chunk_size)]
+    telemetry = obs.enabled()
+    if telemetry:
+        obs.counter("pool.map.chunks", len(chunks))
+        obs.gauge("pool.fn_pickle_bytes", len(pickle.dumps(fn)))
+        obs.gauge("pool.chunk0_pickle_bytes", len(pickle.dumps(chunks[0])))
+    run_chunk = _run_chunk_timed if telemetry else _run_chunk
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
-            results: list[R] = []
-            for fut in futures:
-                results.extend(fut.result())
+        with obs.span("pool.map", n_items=len(work), n_workers=workers,
+                      n_chunks=len(chunks)):
+            t_start = time.perf_counter()
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(run_chunk, fn, chunk) for chunk in chunks]
+                results: list[R] = []
+                busy_s = 0.0
+                for fut in futures:
+                    t_wait = time.perf_counter()
+                    outcome = fut.result()
+                    if telemetry:
+                        chunk_results, chunk_busy = outcome
+                        busy_s += chunk_busy
+                        obs.observe(
+                            "pool.chunk_wait_s", time.perf_counter() - t_wait
+                        )
+                    else:
+                        chunk_results = outcome
+                    results.extend(chunk_results)
+            if telemetry:
+                wall = time.perf_counter() - t_start
+                if wall > 0.0:
+                    obs.gauge(
+                        "pool.worker_utilization",
+                        min(1.0, busy_s / (workers * wall)),
+                    )
             return results
     except (BrokenProcessPool, OSError, ImportError):
         # The *environment* failed (sandbox forbids spawning, workers
         # were killed), not the task: the serial path is still correct.
         # Genuine task exceptions propagate to the caller instead of
         # being silently retried.
+        obs.counter("pool.map.pool_broken")
+        obs.counter("pool.map.serial_inline")
         return [fn(item) for item in work]

@@ -15,6 +15,7 @@ from functools import partial
 
 import numpy as np
 
+from .. import obs
 from .._validation import check_positive_int
 from ..data.campaign_cache import CampaignCache
 from ..data.dataset import CampaignStore, RunCampaign
@@ -89,7 +90,12 @@ def measure_all(
     sys_name = system if isinstance(system, str) else system.name
     names = benchmarks if benchmarks is not None else benchmark_names()
     tasks = [(b, sys_name, n_runs, root_seed) for b in names]
-    results = parallel_map(_run_one, tasks, n_workers=n_workers)
+    obs.counter("simbench.campaigns.measured", len(tasks))
+    obs.counter("simbench.runs.measured", len(tasks) * int(n_runs))
+    with obs.span(
+        "measure_all", system=sys_name, n_benchmarks=len(tasks), n_runs=int(n_runs)
+    ):
+        results = parallel_map(_run_one, tasks, n_workers=n_workers)
     return {c.benchmark: c for c in results}
 
 

@@ -1,0 +1,22 @@
+"""Obs-test fixtures: keep the process-wide observability state clean.
+
+`repro.obs` is a process-wide singleton; every test here must leave it
+disabled and empty so the rest of the suite keeps its zero-overhead
+default behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Disable and reset observability before and after every test."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,118 @@
+"""End-to-end instrumentation contract on a small UC1 grid.
+
+Three promises from docs/OBSERVABILITY.md:
+
+* enabling observability is bit-neutral (identical KS results);
+* `engine.*` / `cache.*` / `simbench.*` counters are deterministic
+  across worker counts;
+* per-stage trace totals reconcile with the StageTimer breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import obs
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import StageTimer
+from repro.experiments.usecase1 import measure_campaigns, representation_model_grid
+from repro.obs import stage_totals, trace_records
+
+BENCHES = ("npb/cg", "npb/is", "npb/bt", "rodinia/heartwall", "parsec/canneal")
+
+CFG = ExperimentConfig(
+    benchmarks=BENCHES,
+    n_runs=80,
+    n_probe_runs=8,
+    n_replicas_uc1=2,
+    representations=("histogram", "pymaxent", "pearsonrnd"),
+    models=("knn",),
+    root_seed=11,
+    n_workers=1,
+)
+
+DETERMINISTIC_FAMILIES = ("engine", "cache", "simbench")
+
+
+def _run_workload(n_workers: int):
+    """Measure + grid at *n_workers*; returns (ks list, counter snapshot)."""
+    cfg = replace(CFG, n_workers=n_workers)
+    campaigns = measure_campaigns(cfg, "intel")
+    grid = representation_model_grid(campaigns, cfg)
+    return list(grid["ks"]), obs.get_registry().snapshot()["counters"]
+
+
+def _deterministic(counters: dict) -> dict:
+    return {
+        k: v for k, v in counters.items() if k.split(".")[0] in DETERMINISTIC_FAMILIES
+    }
+
+
+class TestBitNeutrality:
+    def test_results_identical_with_obs_on_and_off(self):
+        ks_off, _ = _run_workload(1)
+        obs.enable()
+        ks_on, _ = _run_workload(1)
+        obs.disable()
+        assert ks_on == ks_off  # bit-identical, not approx
+
+
+class TestCounterDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_deterministic_families_match_serial(self, workers):
+        obs.enable()
+        ks_serial, counters_serial = _run_workload(1)
+        obs.enable()  # fresh run
+        ks_par, counters_par = _run_workload(workers)
+        obs.disable()
+        assert ks_par == ks_serial
+        assert _deterministic(counters_par) == _deterministic(counters_serial)
+
+    def test_expected_dedup_counts(self):
+        obs.enable()
+        _run_workload(1)
+        obs.disable()
+        counters = obs.get_registry().snapshot()["counters"]
+        n_cells = len(CFG.representations) * len(CFG.models)
+        # pymaxent+pearsonrnd share an encoding -> one fold-vector hit
+        assert counters["engine.fold_vectors.misses"] == 2
+        assert counters["engine.fold_vectors.hits"] == n_cells - 2
+        assert counters["engine.targets.misses"] == 2
+        assert counters["engine.folds.fitted"] == 2 * len(BENCHES)
+        assert counters["engine.ks.scored"] == n_cells * len(BENCHES)
+        assert counters["simbench.campaigns.measured"] == len(BENCHES)
+        assert counters["simbench.runs.measured"] == len(BENCHES) * CFG.n_runs
+
+
+class TestStageReconciliation:
+    def test_trace_stage_totals_match_stage_timer(self):
+        obs.enable()
+        timer = StageTimer()
+        with timer.time("measure"):
+            campaigns = measure_campaigns(CFG, "intel")
+        representation_model_grid(campaigns, CFG, timer=timer)
+        totals = stage_totals(trace_records())
+        obs.disable()
+        timed = timer.as_dict()
+        assert set(totals) == set(timed)
+        for stage, secs in timed.items():
+            # the span wraps the identical region; only clock-call
+            # ordering separates them
+            assert totals[stage] == pytest.approx(secs, rel=0.05, abs=0.020)
+
+    def test_cell_spans_cover_every_grid_cell(self):
+        obs.enable()
+        campaigns = measure_campaigns(CFG, "intel")
+        representation_model_grid(campaigns, CFG)
+        records = trace_records()
+        obs.disable()
+        from repro.obs import cell_walls
+
+        expected = {
+            f"{rep}+{model}"
+            for rep in CFG.representations
+            for model in CFG.models
+        }
+        assert set(cell_walls(records)) == expected

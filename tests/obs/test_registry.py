@@ -1,0 +1,98 @@
+"""Unit tests for the metrics registry and histogram summaries."""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.obs import HistogramSummary, MetricsRegistry
+
+
+class TestCounters:
+    def test_default_increment_is_one(self):
+        reg = MetricsRegistry()
+        reg.counter_add("a.b.c")
+        reg.counter_add("a.b.c")
+        assert reg.counter_value("a.b.c") == 2
+
+    def test_explicit_value(self):
+        reg = MetricsRegistry()
+        reg.counter_add("n", 5)
+        reg.counter_add("n", 7)
+        assert reg.counter_value("n") == 12
+
+    def test_unknown_counter_reads_zero(self):
+        assert MetricsRegistry().counter_value("never") == 0
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge_set("g", 0.25)
+        reg.gauge_set("g", 0.75)
+        assert reg.gauge_value("g") == 0.75
+
+    def test_unknown_gauge_reads_none(self):
+        assert MetricsRegistry().gauge_value("never") is None
+
+
+class TestHistogramSummary:
+    def test_streaming_moments(self):
+        h = HistogramSummary()
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == 2.0
+
+    def test_log2_buckets(self):
+        h = HistogramSummary()
+        h.observe(0.75)  # [0.5, 1)   -> bucket -1
+        h.observe(1.5)   # [1, 2)     -> bucket 0
+        h.observe(3.0)   # [2, 4)     -> bucket 1
+        h.observe(3.9)
+        assert h.buckets == {-1: 1, 0: 1, 1: 2}
+
+    def test_zero_observation_has_a_bucket(self):
+        h = HistogramSummary()
+        h.observe(0.0)
+        assert h.count == 1
+        assert sum(h.buckets.values()) == 1
+
+    def test_empty_as_dict_is_json_safe(self):
+        d = HistogramSummary().as_dict()
+        assert d["count"] == 0
+        assert d["min"] == 0.0 and d["max"] == 0.0 and d["mean"] == 0.0
+        assert not any(math.isinf(v) for v in (d["min"], d["max"]))
+        json.dumps(d)
+
+
+class TestSnapshot:
+    def test_snapshot_is_sorted_and_json_ready(self):
+        reg = MetricsRegistry()
+        reg.counter_add("z.last")
+        reg.counter_add("a.first")
+        reg.gauge_set("m.middle", 1.5)
+        reg.histogram_observe("h.one", 0.1)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a.first", "z.last"]
+        json.dumps(snap)  # plain scalars only
+
+    def test_same_updates_same_snapshot(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg in (a, b):
+            reg.counter_add("c", 3)
+            reg.gauge_set("g", 0.5)
+            reg.histogram_observe("h", 1.25)
+            reg.histogram_observe("h", 2.5)
+        assert a.snapshot() == b.snapshot()
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter_add("c")
+        reg.gauge_set("g", 1.0)
+        reg.histogram_observe("h", 1.0)
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,83 @@
+"""Tests for the derived run summary (rates, utilization, stage totals)."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs import run_summary, summarize_records, trace_records
+
+
+def _records(counters=(), gauges=()):
+    meta = {"type": "meta", "schema": obs.TRACE_SCHEMA, "version": obs.TRACE_SCHEMA_VERSION}
+    recs = [meta]
+    recs += [{"type": "counter", "name": n, "value": v} for n, v in counters]
+    recs += [{"type": "gauge", "name": n, "value": v} for n, v in gauges]
+    return recs
+
+
+class TestSummarizeRecords:
+    def test_cache_hit_rate(self):
+        s = summarize_records(
+            _records(
+                counters=[
+                    ("cache.memory.hits", 6),
+                    ("cache.disk.hits", 2),
+                    ("cache.misses", 2),
+                ]
+            )
+        )
+        assert s["cache"]["memory_hits"] == 6
+        assert s["cache"]["disk_hits"] == 2
+        assert s["cache"]["hit_rate"] == 0.8
+
+    def test_rates_none_when_path_never_ran(self):
+        s = summarize_records(_records())
+        assert s["cache"]["hit_rate"] is None
+        assert s["engine"]["fold_vector_hit_rate"] is None
+        assert s["engine"]["target_hit_rate"] is None
+        assert s["pool"]["worker_utilization"] is None
+
+    def test_engine_dedup_rates(self):
+        s = summarize_records(
+            _records(
+                counters=[
+                    ("engine.fold_vectors.hits", 3),
+                    ("engine.fold_vectors.misses", 6),
+                    ("engine.targets.hits", 4),
+                    ("engine.targets.misses", 2),
+                    ("engine.folds.fitted", 30),
+                ]
+            )
+        )
+        assert s["engine"]["folds_fitted"] == 30
+        assert s["engine"]["fold_vector_hit_rate"] == 3 / 9
+        assert s["engine"]["target_hit_rate"] == 4 / 6
+
+    def test_pool_section_reads_gauges(self):
+        s = summarize_records(
+            _records(
+                counters=[("pool.map.calls", 2), ("pool.map.items", 18)],
+                gauges=[("pool.worker_utilization", 0.75), ("pool.fn_pickle_bytes", 512)],
+            )
+        )
+        assert s["pool"]["map_calls"] == 2
+        assert s["pool"]["items"] == 18
+        assert s["pool"]["worker_utilization"] == 0.75
+        assert s["pool"]["fn_pickle_bytes"] == 512
+
+
+class TestRunSummary:
+    def test_live_summary_matches_records_summary(self):
+        obs.enable()
+        obs.counter("cache.memory.hits", 3)
+        obs.counter("cache.misses", 1)
+        with obs.span("stage", stage="measure"):
+            pass
+        obs.disable()
+        assert run_summary() == summarize_records(trace_records())
+
+    def test_stage_totals_included(self):
+        obs.enable()
+        with obs.span("stage", stage="fit"):
+            pass
+        obs.disable()
+        assert set(run_summary()["stages_s"]) == {"fit"}

@@ -1,0 +1,141 @@
+"""Tests for JSONL trace serialization, validation and aggregation."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.obs import (
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_VERSION,
+    cell_walls,
+    read_trace,
+    stage_totals,
+    trace_records,
+    validate_trace,
+    write_trace,
+)
+
+
+def _run_small_workload():
+    obs.enable()
+    obs.counter("engine.folds.fitted", 5)
+    obs.counter("cache.misses", 1)
+    obs.gauge("pool.worker_utilization", 0.8)
+    obs.observe("tree.fit_s", 0.125)
+    with obs.span("stage", stage="fit"):
+        with obs.span("cell", representation="histogram", model="knn"):
+            pass
+    obs.disable()
+
+
+class TestRoundTrip:
+    def test_write_read_validate(self, tmp_path):
+        _run_small_workload()
+        path = write_trace(tmp_path / "trace.jsonl", meta={"experiment": "t"})
+        records = read_trace(path)
+        assert validate_trace(records) == []
+        assert records == trace_records(meta={"experiment": "t"})
+
+    def test_meta_record_leads(self, tmp_path):
+        _run_small_workload()
+        path = write_trace(tmp_path / "t.jsonl", meta={"experiment": "x", "scale": "small"})
+        head = read_trace(path)[0]
+        assert head["type"] == "meta"
+        assert head["schema"] == TRACE_SCHEMA
+        assert head["version"] == TRACE_SCHEMA_VERSION
+        assert head["experiment"] == "x"
+        assert head["scale"] == "small"
+
+    def test_deterministic_record_order(self):
+        _run_small_workload()
+        records = trace_records()
+        types = [r["type"] for r in records]
+        assert types == ["meta", "counter", "counter", "gauge", "histogram", "span", "span"]
+        counter_names = [r["name"] for r in records if r["type"] == "counter"]
+        assert counter_names == sorted(counter_names)
+        spans = [r for r in records if r["type"] == "span"]
+        assert [s["seq"] for s in spans] == sorted(s["seq"] for s in spans)
+
+    def test_lines_have_sorted_keys(self, tmp_path):
+        _run_small_workload()
+        path = write_trace(tmp_path / "t.jsonl")
+        for line in path.read_text().splitlines():
+            obj = json.loads(line)
+            assert line == json.dumps(obj, sort_keys=True)
+
+    def test_meta_cannot_shadow_schema_fields(self):
+        _run_small_workload()
+        head = trace_records(meta={"schema": "evil", "version": 99})[0]
+        assert head["schema"] == TRACE_SCHEMA
+        assert head["version"] == TRACE_SCHEMA_VERSION
+
+
+class TestValidation:
+    def _valid(self):
+        _run_small_workload()
+        return trace_records()
+
+    def test_empty_trace_rejected(self):
+        assert validate_trace([]) == ["empty trace"]
+
+    def test_missing_meta_rejected(self):
+        records = self._valid()[1:]
+        assert any("meta" in p for p in validate_trace(records))
+
+    def test_foreign_schema_rejected(self):
+        records = self._valid()
+        records[0] = dict(records[0], schema="someone.else")
+        assert any("unknown schema" in p for p in validate_trace(records))
+
+    def test_future_version_rejected(self):
+        records = self._valid()
+        records[0] = dict(records[0], version=TRACE_SCHEMA_VERSION + 1)
+        assert any("version" in p for p in validate_trace(records))
+
+    def test_unknown_record_type_rejected(self):
+        records = self._valid() + [{"type": "mystery"}]
+        assert any("unknown type" in p for p in validate_trace(records))
+
+    def test_missing_field_rejected(self):
+        records = self._valid() + [{"type": "counter", "name": "orphan"}]
+        assert any("missing field 'value'" in p for p in validate_trace(records))
+
+    def test_bool_is_not_a_number(self):
+        records = self._valid() + [{"type": "counter", "name": "b", "value": True}]
+        assert any("'value' has type" in p for p in validate_trace(records))
+
+    def test_duplicate_span_seq_rejected(self):
+        records = self._valid()
+        span = next(r for r in records if r["type"] == "span")
+        assert any("duplicate seq" in p for p in validate_trace(records + [dict(span)]))
+
+    def test_duplicate_meta_rejected(self):
+        records = self._valid()
+        assert any("duplicate meta" in p for p in validate_trace(records + [dict(records[0])]))
+
+
+class TestAggregation:
+    def test_stage_totals_sums_repeated_stages(self):
+        obs.enable()
+        for _ in range(3):
+            with obs.span("stage", stage="fit"):
+                pass
+        with obs.span("stage", stage="score"):
+            pass
+        with obs.span("not_a_stage"):
+            pass
+        obs.disable()
+        totals = stage_totals(trace_records())
+        assert set(totals) == {"fit", "score"}
+        assert totals["fit"] >= 0.0
+
+    def test_cell_walls_keyed_by_rep_and_model(self):
+        obs.enable()
+        with obs.span("cell", representation="histogram", model="knn"):
+            pass
+        with obs.span("cell", representation="pearsonrnd", model="rf"):
+            pass
+        obs.disable()
+        walls = cell_walls(trace_records())
+        assert set(walls) == {"histogram+knn", "pearsonrnd+rf"}

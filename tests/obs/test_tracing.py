@@ -1,0 +1,147 @@
+"""Tests for the tracing facade: disabled-mode contract and span trees."""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+import threading
+
+from repro import obs
+
+
+class TestDisabledMode:
+    def test_span_returns_shared_noop(self):
+        assert obs.span("x") is obs.span("y", a=1, b="two")
+
+    def test_helpers_record_nothing(self):
+        obs.counter("c", 5)
+        obs.gauge("g", 1.0)
+        obs.observe("h", 0.5)
+        with obs.span("s", k="v"):
+            pass
+        assert obs.events() == []
+        assert obs.get_registry().snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_hot_loop_retains_no_allocations(self):
+        def hot_loop(n):
+            for _ in range(n):
+                with obs.span("fold", benchmark="npb/bt"):
+                    obs.counter("engine.folds.fitted")
+                    obs.gauge("pool.worker_utilization", 0.5)
+                    obs.observe("tree.fit_s", 0.01)
+
+        hot_loop(50)  # warm up caches/specialization
+        gc.collect()
+        before = sys.getallocatedblocks()
+        hot_loop(5000)
+        gc.collect()
+        after = sys.getallocatedblocks()
+        # zero retained allocations modulo interpreter noise: far below
+        # one block per iteration
+        assert after - before < 50
+
+
+class TestEnabledSpans:
+    def test_span_event_fields(self):
+        obs.enable()
+        with obs.span("cell", representation="histogram", model="knn"):
+            pass
+        obs.disable()
+        (event,) = obs.events()
+        assert event["type"] == "span"
+        assert event["name"] == "cell"
+        assert event["seq"] == 1
+        assert event["parent"] == 0
+        assert event["pid"] == os.getpid()
+        assert event["thread"] == threading.current_thread().name
+        assert event["dur_s"] >= 0.0
+        assert event["t_start_s"] >= 0.0
+        assert event["attrs"] == {"representation": "histogram", "model": "knn"}
+
+    def test_no_attrs_key_when_empty(self):
+        obs.enable()
+        with obs.span("bare"):
+            pass
+        (event,) = obs.events()
+        assert "attrs" not in event
+
+    def test_nesting_records_parent_links(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+            with obs.span("inner2"):
+                pass
+        by_name = {e["name"]: e for e in obs.events()}
+        assert by_name["outer"]["parent"] == 0
+        assert by_name["inner"]["parent"] == by_name["outer"]["seq"]
+        assert by_name["inner2"]["parent"] == by_name["outer"]["seq"]
+
+    def test_seq_is_program_start_order(self):
+        obs.enable()
+        with obs.span("a"):
+            with obs.span("b"):
+                pass
+        with obs.span("c"):
+            pass
+        seqs = {e["name"]: e["seq"] for e in obs.events()}
+        assert seqs == {"a": 1, "b": 2, "c": 3}
+
+    def test_threads_get_independent_stacks(self):
+        obs.enable()
+
+        def worker():
+            with obs.span("in_thread"):
+                pass
+
+        with obs.span("main_span"):
+            t = threading.Thread(target=worker, name="obs-worker")
+            t.start()
+            t.join()
+        by_name = {e["name"]: e for e in obs.events()}
+        # the other thread's span is a root, not a child of main_span
+        assert by_name["in_thread"]["parent"] == 0
+        assert by_name["in_thread"]["thread"] == "obs-worker"
+
+
+class TestLifecycle:
+    def test_enable_fresh_clears_previous_run(self):
+        obs.enable()
+        obs.counter("stale")
+        with obs.span("stale_span"):
+            pass
+        obs.enable()  # fresh=True default
+        assert obs.events() == []
+        assert obs.get_registry().counter_value("stale") == 0
+
+    def test_enable_not_fresh_keeps_state(self):
+        obs.enable()
+        obs.counter("keep")
+        obs.disable()
+        obs.enable(fresh=False)
+        assert obs.get_registry().counter_value("keep") == 1
+
+    def test_disable_keeps_buffered_data(self):
+        obs.enable()
+        obs.counter("c", 2)
+        with obs.span("s"):
+            pass
+        obs.disable()
+        assert obs.get_registry().counter_value("c") == 2
+        assert len(obs.events()) == 1
+
+    def test_metric_helpers_feed_registry(self):
+        obs.enable()
+        obs.counter("c")
+        obs.counter("c", 4)
+        obs.gauge("g", 0.25)
+        obs.observe("h", 2.0)
+        snap = obs.get_registry().snapshot()
+        assert snap["counters"]["c"] == 5
+        assert snap["gauges"]["g"] == 0.25
+        assert snap["histograms"]["h"]["count"] == 1

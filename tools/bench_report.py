@@ -2,9 +2,12 @@
 """Machine-readable perf record of the evaluation engine.
 
 Runs the Fig. 4 grid (``representation_model_grid``) at
-``REPRO_BENCH_SCALE=small`` through the shared-featurization engine,
-records per-stage wall times plus a KS checksum to
-``results/BENCH_eval.json``, then runs the tier-1 test suite and fails
+``REPRO_BENCH_SCALE=small`` through the shared-featurization engine with
+:mod:`repro.obs` enabled, records per-stage wall times, a KS checksum
+and the observability summary (cache hit rate, worker utilization,
+engine dedup rates — schema in EXPERIMENTS.md) to
+``results/BENCH_eval.json``, writes the full JSONL trace to
+``results/BENCH_trace.jsonl``, then runs the tier-1 test suite and fails
 (non-zero exit) if it regresses.
 
 Usage::
@@ -38,7 +41,8 @@ os.environ.setdefault("REPRO_CACHE_DIR", str(ROOT / ".repro_cache"))
 def run_grid() -> dict:
     import numpy as np
 
-    from repro.experiments.reporting import StageTimer
+    from repro import obs
+    from repro.experiments.reporting import StageTimer, write_run_trace
     from repro.experiments.usecase1 import representation_model_grid
     from repro.parallel.pool import default_workers
 
@@ -51,12 +55,23 @@ def run_grid() -> dict:
 
     cfg = replace(cfg, n_workers=n_workers)
 
+    obs.enable()
     timer = StageTimer()
     t0 = time.perf_counter()
     with timer.time("measure"):
         campaigns = intel_campaigns()
     grid = representation_model_grid(campaigns, cfg, timer=timer)
     wall = time.perf_counter() - t0
+
+    trace_path = write_run_trace(
+        RESULTS / "BENCH_trace.jsonl",
+        experiment="fig4_uc1_grid",
+        scale=os.environ["REPRO_BENCH_SCALE"],
+        n_workers=n_workers,
+    )
+    summary = obs.run_summary()
+    obs.disable()
+    print(f"[bench] trace written to {trace_path}")
 
     ks = np.asarray(grid["ks"], dtype=np.float64)
     return {
@@ -69,6 +84,7 @@ def run_grid() -> dict:
         "wall_s": wall,
         "ks_checksum": float(ks.sum()),
         "n_grid_rows": int(len(ks)),
+        "obs": summary,
     }
 
 
