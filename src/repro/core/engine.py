@@ -26,12 +26,18 @@ Every cached artifact is a pure function of its key, which is what makes
 the sharing bit-identical to the naive per-cell recomputation: the same
 arrays flow into the same operations in the same order.
 
-Fold dispatch optionally fans out across processes via
-:func:`repro.parallel.parallel_map`.  Folds are independent by
-construction — each held-out benchmark refit consumes only per-fold
-inputs, and the KS-scoring RNG is keyed per benchmark with
-:func:`~repro.parallel.seeding.seed_for` — so worker count never changes
-results.
+Fold dispatch optionally fans out across processes via a
+:class:`~repro.parallel.worker_pool.WorkerPool` (the grid runners pass a
+persistent one; ad-hoc calls get a transient pool).  When the pool's
+shared-memory plane is available the engine *publishes* the feature and
+target matrices once per campaign/encoding and ships each fold as a tiny
+descriptor — ``(model, array refs, held-out benchmark, scaler params)``
+— instead of pickling per-fold matrix copies; the worker re-derives its
+``X[mask]``/``Y[mask]`` views from the shared arrays.  Folds are
+independent by construction — each held-out benchmark refit consumes
+only per-fold inputs, and the KS-scoring RNG is keyed per benchmark with
+:func:`~repro.parallel.seeding.seed_for` — so worker count, pool reuse
+and the dispatch plane (pickle vs shm) never change results.
 
 When :mod:`repro.obs` is enabled the engine emits per-fold ``fold``
 spans (serial path) or one ``fold_batch`` span (parallel dispatch) plus
@@ -49,8 +55,9 @@ from ..data.dataset import RunCampaign
 from ..errors import ValidationError
 from ..ml.base import Regressor
 from ..ml.scaling import RobustScaler
-from ..parallel.pool import parallel_map
 from ..parallel.seeding import seed_for
+from ..parallel.shm import attach
+from ..parallel.worker_pool import WorkerPool
 from .features import FeatureConfig, profile_features
 from .representations import DistributionRepresentation
 
@@ -68,6 +75,30 @@ def _fit_predict_fold(task) -> np.ndarray:
     """
     model, Xs, Ys, xp = task
     return model.clone().fit(Xs, Ys).predict(xp)[0]
+
+
+def _fit_predict_fold_shm(task) -> np.ndarray:
+    """Zero-copy variant of :func:`_fit_predict_fold`.
+
+    ``task`` ships only descriptors: the shared-array refs of the full
+    ``(X, Y, groups)`` matrices, the held-out benchmark name, the raw
+    probe row and the parent-fitted robust-scaler parameters.  The
+    worker re-derives the per-fold training views from the shared
+    arrays and applies the identical affine transform, so the fitted
+    model consumes bit-for-bit the same matrices the pickling path
+    would have shipped.
+    """
+    model, x_ref, y_ref, g_ref, bench, probe, center, scale = task
+    X = attach(x_ref)
+    Y = attach(y_ref)
+    groups = attach(g_ref)
+    mask = groups != bench
+    scaler = RobustScaler()
+    scaler.center_ = center
+    scaler.scale_ = scale
+    Xs = scaler.transform(X[mask])
+    xp = scaler.transform(probe[None, :])
+    return model.clone().fit(Xs, Y[mask]).predict(xp)[0]
 
 
 def _wants_serial(model: Regressor) -> bool:
@@ -90,6 +121,7 @@ def logo_fold_vectors(
     *,
     n_workers: int = 1,
     scaled_folds: dict | None = None,
+    pool: WorkerPool | None = None,
 ) -> dict[str, np.ndarray]:
     """Predicted representation vector per held-out benchmark.
 
@@ -98,13 +130,20 @@ def logo_fold_vectors(
     predict the benchmark's probe vector.  Returns name -> vector.
 
     ``scaled_folds`` optionally caches the per-fold scaler products
-    ``(X_train_scaled, x_probe_scaled, train_mask)`` keyed by benchmark;
-    they depend only on ``(X, probe_features)``, so a grid sweep can
-    share them across every (representation, model) cell with the same
-    feature rows.
+    ``(X_train_scaled, x_probe_scaled, train_mask, scaler)`` keyed by
+    benchmark; they depend only on ``(X, probe_features)``, so a grid
+    sweep can share them across every (representation, model) cell with
+    the same feature rows.
 
-    Results are bit-identical for any ``n_workers``: each fold consumes
-    only its own inputs and a deterministic model clone.
+    ``pool`` optionally supplies a persistent
+    :class:`~repro.parallel.worker_pool.WorkerPool`; without one, a
+    transient pool is created per call.  When the pool's shared-memory
+    plane is available, ``X``/``Y``/``groups`` are published once and
+    fold tasks ship only descriptors (see :func:`_fit_predict_fold_shm`).
+
+    Results are bit-identical for any ``n_workers``, with or without a
+    persistent pool, on either dispatch plane: each fold consumes only
+    its own inputs and a deterministic model clone.
     """
     names = sorted(probe_features)
     folds = []
@@ -118,23 +157,73 @@ def logo_fold_vectors(
                 scaler.transform(X[mask]),
                 scaler.transform(probe_features[bench][None, :]),
                 mask,
+                scaler,
             )
             if scaled_folds is not None:
                 scaled_folds[bench] = cached
         else:
             obs.counter("engine.scaled_folds.hits")
         folds.append(cached)
-    tasks = [(model, Xs, Y[mask], xp) for Xs, xp, mask in folds]
-    obs.counter("engine.folds.fitted", len(tasks))
+    obs.counter("engine.folds.fitted", len(folds))
     if n_workers == 1 or _wants_serial(model):
         vectors = []
-        for bench, task in zip(names, tasks):
+        for bench, (Xs, xp, mask, _scaler) in zip(names, folds):
             with obs.span("fold", benchmark=bench):
-                vectors.append(_fit_predict_fold(task))
+                vectors.append(_fit_predict_fold((model, Xs, Y[mask], xp)))
+        return dict(zip(names, vectors))
+    if pool is not None:
+        vectors = _dispatch_folds(pool, model, X, Y, groups, names, folds,
+                                  probe_features, n_workers)
     else:
-        with obs.span("fold_batch", n_folds=len(tasks), n_workers=n_workers):
-            vectors = parallel_map(_fit_predict_fold, tasks, n_workers=n_workers)
+        with WorkerPool(n_workers) as transient:
+            vectors = _dispatch_folds(transient, model, X, Y, groups, names,
+                                      folds, probe_features, n_workers)
     return dict(zip(names, vectors))
+
+
+def _dispatch_folds(
+    pool: WorkerPool,
+    model: Regressor,
+    X: np.ndarray,
+    Y: np.ndarray,
+    groups: np.ndarray,
+    names: list[str],
+    folds: list[tuple],
+    probe_features: dict[str, np.ndarray],
+    n_workers: int,
+) -> list[np.ndarray]:
+    """Fan folds out through *pool*, zero-copy when shared memory works.
+
+    Publication failures (shm mount vanished mid-run) degrade to the
+    pickling plane; both planes produce bit-identical vectors.
+    """
+    store = pool.shm
+    refs = None
+    if store is not None:
+        try:
+            refs = (store.publish(X), store.publish(Y), store.publish(groups))
+        except Exception:
+            refs = None
+    if refs is not None:
+        x_ref, y_ref, g_ref = refs
+        tasks = []
+        saved = 0
+        for bench, (Xs, xp, mask, scaler) in zip(names, folds):
+            tasks.append(
+                (model, x_ref, y_ref, g_ref, bench, probe_features[bench],
+                 scaler.center_, scaler.scale_)
+            )
+            saved += Xs.nbytes + xp.nbytes + int(mask.sum()) * Y.shape[1] * Y.itemsize
+        obs.counter("pool.shm_bytes_saved", saved)
+        fold_fn, plane = _fit_predict_fold_shm, "shm"
+    else:
+        tasks = [
+            (model, Xs, Y[mask], xp) for Xs, xp, mask, _scaler in folds
+        ]
+        fold_fn, plane = _fit_predict_fold, "pickle"
+    with obs.span("fold_batch", n_folds=len(tasks), n_workers=n_workers,
+                  plane=plane):
+        return pool.map(fold_fn, tasks)
 
 
 class _VectorCacheMixin:
@@ -150,12 +239,15 @@ class _VectorCacheMixin:
         *,
         model_key: str | None = None,
         n_workers: int = 1,
+        pool=None,
     ) -> dict[str, np.ndarray]:
         """Per-benchmark fold predictions, cached by (model, encoding).
 
         ``model_key`` must identify the model's hyperparameters (the
         registry name does); pass ``None`` for ad-hoc model instances to
-        bypass the cache.
+        bypass the cache.  ``pool`` optionally carries a persistent
+        :class:`~repro.parallel.worker_pool.WorkerPool` shared across
+        grid cells.
         """
         key = None
         if model_key is not None:
@@ -166,13 +258,13 @@ class _VectorCacheMixin:
                 return hit
         obs.counter("engine.fold_vectors.misses")
         vectors = self._compute_fold_vectors(
-            model, representation, n_workers=n_workers
+            model, representation, n_workers=n_workers, pool=pool
         )
         if key is not None:
             self._fold_vectors[key] = vectors
         return vectors
 
-    def _compute_fold_vectors(self, model, representation, *, n_workers):
+    def _compute_fold_vectors(self, model, representation, *, n_workers, pool):
         raise NotImplementedError
 
 
@@ -254,7 +346,7 @@ class FewRunsDesign(_VectorCacheMixin):
         """(X, Y, groups) — bit-identical to ``build_few_runs_rows``."""
         return self.X, self.target_matrix(representation), self.groups
 
-    def _compute_fold_vectors(self, model, representation, *, n_workers):
+    def _compute_fold_vectors(self, model, representation, *, n_workers, pool):
         return logo_fold_vectors(
             self.X,
             self.target_matrix(representation),
@@ -263,6 +355,7 @@ class FewRunsDesign(_VectorCacheMixin):
             model,
             n_workers=n_workers,
             scaled_folds=self._scaled_folds,
+            pool=pool,
         )
 
 
@@ -359,7 +452,7 @@ class CrossSystemDesign(_VectorCacheMixin):
             obs.counter("engine.targets.hits")
         return cached
 
-    def _compute_fold_vectors(self, model, representation, *, n_workers):
+    def _compute_fold_vectors(self, model, representation, *, n_workers, pool):
         X, Y, probe, folds = self._encoded(representation)
         return logo_fold_vectors(
             X,
@@ -369,4 +462,5 @@ class CrossSystemDesign(_VectorCacheMixin):
             model,
             n_workers=n_workers,
             scaled_folds=folds,
+            pool=pool,
         )

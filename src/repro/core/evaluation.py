@@ -36,6 +36,7 @@ __all__ = [
     "get_model",
     "MODELS",
     "score_fold_vectors",
+    "score_vector_sets",
     "evaluate_few_runs",
     "evaluate_cross_system",
     "summarize_ks",
@@ -121,6 +122,53 @@ def score_fold_vectors(
     )
 
 
+def score_vector_sets(
+    vector_sets: list[dict[str, np.ndarray]],
+    representation: DistributionRepresentation,
+    measured: dict[str, np.ndarray],
+    *,
+    seed: int,
+) -> list[ColumnTable]:
+    """Score several fold-prediction sets against one measured corpus.
+
+    Batched sibling of :func:`score_fold_vectors` for sweeps that
+    produce multiple prediction sets per benchmark (e.g. the Fig. 6
+    probe-size sweep): each benchmark's measured sample is scored once
+    *per set* but — for sample-decoded representations — sorted only
+    once across all sets via
+    :meth:`~repro.core.representations.DistributionRepresentation.ks_score_many`.
+
+    Bit-identical to calling :func:`score_fold_vectors` once per set:
+    the scoring RNG is freshly keyed per (benchmark) for every set,
+    exactly as the sequential path does.
+    """
+    names = sorted(measured)
+    per_set: list[list[float]] = [[] for _ in vector_sets]
+    for bench in names:
+        rngs = [
+            check_random_state(seed_for(seed, "ks", bench)) for _ in vector_sets
+        ]
+        scores = representation.ks_score_many(
+            [vectors[bench] for vectors in vector_sets],
+            measured[bench],
+            rngs=rngs,
+        )
+        for out, score in zip(per_set, scores):
+            out.append(float(score))
+    obs.counter("engine.ks.scored", len(names) * len(vector_sets))
+    suites = [suite_of(n) for n in names]
+    return [
+        ColumnTable(
+            {
+                "benchmark": names,
+                "suite": suites,
+                "ks": np.asarray(scores),
+            }
+        )
+        for scores in per_set
+    ]
+
+
 def _logo_ks(
     X: np.ndarray,
     Y: np.ndarray,
@@ -151,6 +199,7 @@ def evaluate_few_runs(
     seed: int = _EVAL_SEED,
     n_workers: int = 1,
     design: FewRunsDesign | None = None,
+    pool=None,
 ) -> ColumnTable:
     """Use-case-1 LOGO evaluation; one KS score per benchmark.
 
@@ -162,7 +211,9 @@ def evaluate_few_runs(
     featurization (and memoized fold predictions) across several calls —
     the grid runners do this; the design then supersedes ``campaigns``
     and the sampling parameters.  ``n_workers > 1`` fans the per-fold
-    refits out across processes without changing any result.
+    refits out across processes without changing any result; pass a
+    persistent :class:`~repro.parallel.WorkerPool` as ``pool`` to reuse
+    warm workers (and their shared-memory plane) across calls.
     """
     mdl = _resolve_model(model)
     if design is None:
@@ -180,6 +231,7 @@ def evaluate_few_runs(
         representation,
         model_key=model.lower() if isinstance(model, str) else None,
         n_workers=n_workers,
+        pool=pool,
     )
     return score_fold_vectors(vectors, representation, design.measured, seed=seed)
 
@@ -195,11 +247,13 @@ def evaluate_cross_system(
     seed: int = _EVAL_SEED,
     n_workers: int = 1,
     design: CrossSystemDesign | None = None,
+    pool=None,
 ) -> ColumnTable:
     """Use-case-2 LOGO evaluation; one KS score per benchmark.
 
     Accepts a prebuilt :class:`~repro.core.engine.CrossSystemDesign` like
-    :func:`evaluate_few_runs` does for use case 1.
+    :func:`evaluate_few_runs` does for use case 1, and a persistent
+    ``pool`` like it too.
     """
     mdl = _resolve_model(model)
     if design is None:
@@ -224,6 +278,7 @@ def evaluate_cross_system(
         representation,
         model_key=model.lower() if isinstance(model, str) else None,
         n_workers=n_workers,
+        pool=pool,
     )
     return score_fold_vectors(vectors, representation, design.measured, seed=seed)
 

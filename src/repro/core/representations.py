@@ -27,7 +27,7 @@ import numpy as np
 from .._validation import as_sample_array, check_random_state
 from ..errors import ReconstructionError, ValidationError
 from ..stats.histogram import DensityHistogram, HistogramGrid
-from ..stats.ks import ks_against_grid_cdf, ks_statistic
+from ..stats.ks import ks_against_grid_cdf, ks_statistic, ks_statistic_many
 from ..stats.maxent import MaxEntDensity, maxent_from_moments
 from ..stats.moments import MomentVector, moment_vector, nearest_feasible
 from ..stats.pearson import PearsonDistribution, pearson_system
@@ -157,6 +157,21 @@ class DistributionRepresentation(ABC):
         recon = self.reconstruct(vector)
         return recon.ks_against(measured_relative_samples, rng=rng)
 
+    def ks_score_many(
+        self, vectors, measured_relative_samples, *, rngs
+    ) -> list[float]:
+        """KS statistics of several predicted vectors against one sample.
+
+        ``rngs`` supplies one scoring RNG per vector.  Bit-identical to
+        calling :meth:`ks_score` per ``(vector, rng)`` pair; sample-decoded
+        representations override this to amortize sorting the measured
+        sample across vectors (:func:`~repro.stats.ks.ks_statistic_many`).
+        """
+        return [
+            float(self.ks_score(v, measured_relative_samples, rng=rng))
+            for v, rng in zip(vectors, rngs)
+        ]
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(n_dims={self.n_dims})"
 
@@ -278,6 +293,26 @@ class PearsonRndRepresentation(_MomentRepresentationBase):
         return _PearsonReconstruction(
             dist, use_analytic_cdf=self.use_analytic_cdf, n_draws=self.n_draws
         )
+
+    def ks_score_many(
+        self, vectors, measured_relative_samples, *, rngs
+    ) -> list[float]:
+        """Batched scoring: decode each vector to its Pearson draw, then
+        score the whole batch against one sorted copy of the measured
+        sample.  Draw order and RNG consumption match :meth:`ks_score`
+        exactly, so the scores are bit-identical to the sequential path."""
+        if self.use_analytic_cdf:
+            return super().ks_score_many(
+                vectors, measured_relative_samples, rngs=rngs
+            )
+        draws = [
+            self.reconstruct(v).sample(self.n_draws, rng=check_random_state(rng))
+            for v, rng in zip(vectors, rngs)
+        ]
+        return [
+            float(d)
+            for d in ks_statistic_many(draws, measured_relative_samples)
+        ]
 
 
 #: Registry keyed by the names used throughout the experiment harness.

@@ -19,9 +19,9 @@ from .. import obs
 from .._validation import check_random_state
 from ..core.engine import FewRunsDesign
 from ..core.evaluation import (
-    evaluate_few_runs,
     get_model,
     score_fold_vectors,
+    score_vector_sets,
     summarize_ks,
 )
 from ..core.features import FeatureConfig
@@ -30,6 +30,7 @@ from ..core.representations import get_representation
 from ..data.dataset import RunCampaign
 from ..data.table import ColumnTable
 from ..parallel.seeding import seed_for
+from ..parallel.worker_pool import WorkerPool
 from ..simbench.runner import measure_all
 from .config import ExperimentConfig, PAPER_CONFIG
 from .reporting import StageTimer
@@ -79,31 +80,33 @@ def representation_model_grid(
             seed=config.eval_seed,
         )
     frames = []
-    for rep_name in config.representations:
-        rep = get_representation(rep_name)
-        for model_name in config.models:
-            with obs.span("cell", representation=rep_name, model=model_name):
-                with timer.time("fit"):
-                    vectors = design.fold_vectors(
-                        get_model(model_name),
-                        rep,
-                        model_key=model_name,
-                        n_workers=config.n_workers,
+    with WorkerPool(config.n_workers) as pool:
+        for rep_name in config.representations:
+            rep = get_representation(rep_name)
+            for model_name in config.models:
+                with obs.span("cell", representation=rep_name, model=model_name):
+                    with timer.time("fit"):
+                        vectors = design.fold_vectors(
+                            get_model(model_name),
+                            rep,
+                            model_key=model_name,
+                            n_workers=config.n_workers,
+                            pool=pool,
+                        )
+                    with timer.time("score"):
+                        tab = score_fold_vectors(
+                            vectors, rep, design.measured, seed=config.eval_seed
+                        )
+                for row in tab.rows():
+                    frames.append(
+                        {
+                            "representation": rep_name,
+                            "model": model_name,
+                            "benchmark": row["benchmark"],
+                            "suite": row["suite"],
+                            "ks": float(row["ks"]),
+                        }
                     )
-                with timer.time("score"):
-                    tab = score_fold_vectors(
-                        vectors, rep, design.measured, seed=config.eval_seed
-                    )
-            for row in tab.rows():
-                frames.append(
-                    {
-                        "representation": rep_name,
-                        "model": model_name,
-                        "benchmark": row["benchmark"],
-                        "suite": row["suite"],
-                        "ks": float(row["ks"]),
-                    }
-                )
     return ColumnTable.from_rows(frames)
 
 
@@ -114,19 +117,42 @@ def sample_count_sweep(
     representation: str = "pearsonrnd",
     model: str = "knn",
 ) -> ColumnTable:
-    """Fig. 6 data: per-benchmark KS for each probe size."""
+    """Fig. 6 data: per-benchmark KS for each probe size.
+
+    One persistent :class:`~repro.parallel.WorkerPool` serves every probe
+    size (the design — and therefore the fold matrices — changes per
+    size, but the workers and shm plane are reused), and scoring is
+    batched across sizes with :func:`score_vector_sets` so each
+    benchmark's 1,000-run measured sample is sorted once per size-batch
+    instead of once per (size, benchmark) decode.  Bit-identical to the
+    per-size :func:`~repro.core.evaluation.evaluate_few_runs` loop it
+    replaces.
+    """
     rep = get_representation(representation)
+    mdl_key = model.lower()
+    vector_sets = []
+    measured = None
+    with WorkerPool(config.n_workers) as pool:
+        for n_samples in config.sample_counts:
+            design = FewRunsDesign(
+                campaigns,
+                n_probe_runs=n_samples,
+                n_replicas=config.n_replicas_uc1,
+                seed=config.eval_seed,
+            )
+            vector_sets.append(
+                design.fold_vectors(
+                    get_model(mdl_key),
+                    rep,
+                    model_key=mdl_key,
+                    n_workers=config.n_workers,
+                    pool=pool,
+                )
+            )
+            measured = design.measured
+    tables = score_vector_sets(vector_sets, rep, measured, seed=config.eval_seed)
     frames = []
-    for n_samples in config.sample_counts:
-        tab = evaluate_few_runs(
-            campaigns,
-            representation=rep,
-            model=model,
-            n_probe_runs=n_samples,
-            n_replicas=config.n_replicas_uc1,
-            seed=config.eval_seed,
-            n_workers=config.n_workers,
-        )
+    for n_samples, tab in zip(config.sample_counts, tables):
         for row in tab.rows():
             frames.append(
                 {

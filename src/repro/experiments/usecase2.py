@@ -26,6 +26,7 @@ from ..core.representations import get_representation
 from ..data.dataset import RunCampaign
 from ..data.table import ColumnTable
 from ..parallel.seeding import seed_for
+from ..parallel.worker_pool import WorkerPool
 from ..simbench.runner import measure_all
 from .config import ExperimentConfig, PAPER_CONFIG
 from .reporting import StageTimer
@@ -85,31 +86,33 @@ def representation_model_grid(
             seed=config.eval_seed,
         )
     frames = []
-    for rep_name in config.representations:
-        rep = get_representation(rep_name)
-        for model_name in config.models:
-            with obs.span("cell", representation=rep_name, model=model_name):
-                with timer.time("fit"):
-                    vectors = design.fold_vectors(
-                        get_model(model_name),
-                        rep,
-                        model_key=model_name,
-                        n_workers=config.n_workers,
+    with WorkerPool(config.n_workers) as pool:
+        for rep_name in config.representations:
+            rep = get_representation(rep_name)
+            for model_name in config.models:
+                with obs.span("cell", representation=rep_name, model=model_name):
+                    with timer.time("fit"):
+                        vectors = design.fold_vectors(
+                            get_model(model_name),
+                            rep,
+                            model_key=model_name,
+                            n_workers=config.n_workers,
+                            pool=pool,
+                        )
+                    with timer.time("score"):
+                        tab = score_fold_vectors(
+                            vectors, rep, design.measured, seed=config.eval_seed
+                        )
+                for row in tab.rows():
+                    frames.append(
+                        {
+                            "representation": rep_name,
+                            "model": model_name,
+                            "benchmark": row["benchmark"],
+                            "suite": row["suite"],
+                            "ks": float(row["ks"]),
+                        }
                     )
-                with timer.time("score"):
-                    tab = score_fold_vectors(
-                        vectors, rep, design.measured, seed=config.eval_seed
-                    )
-            for row in tab.rows():
-                frames.append(
-                    {
-                        "representation": rep_name,
-                        "model": model_name,
-                        "benchmark": row["benchmark"],
-                        "suite": row["suite"],
-                        "ks": float(row["ks"]),
-                    }
-                )
     return ColumnTable.from_rows(frames)
 
 
@@ -121,31 +124,37 @@ def direction_study(
     representation: str = "pearsonrnd",
     model: str = "knn",
 ) -> ColumnTable:
-    """Fig. 8 data: per-benchmark KS for both prediction directions."""
+    """Fig. 8 data: per-benchmark KS for both prediction directions.
+
+    Both directions share one persistent worker pool, so the second
+    direction dispatches onto already-warm workers.
+    """
     rep = get_representation(representation)
     frames = []
-    for direction, (src, dst) in {
-        "amd_to_intel": (amd, intel),
-        "intel_to_amd": (intel, amd),
-    }.items():
-        tab = evaluate_cross_system(
-            src,
-            dst,
-            representation=rep,
-            model=model,
-            n_replicas=config.n_replicas_uc2,
-            seed=config.eval_seed,
-            n_workers=config.n_workers,
-        )
-        for row in tab.rows():
-            frames.append(
-                {
-                    "direction": direction,
-                    "benchmark": row["benchmark"],
-                    "suite": row["suite"],
-                    "ks": float(row["ks"]),
-                }
+    with WorkerPool(config.n_workers) as pool:
+        for direction, (src, dst) in {
+            "amd_to_intel": (amd, intel),
+            "intel_to_amd": (intel, amd),
+        }.items():
+            tab = evaluate_cross_system(
+                src,
+                dst,
+                representation=rep,
+                model=model,
+                n_replicas=config.n_replicas_uc2,
+                seed=config.eval_seed,
+                n_workers=config.n_workers,
+                pool=pool,
             )
+            for row in tab.rows():
+                frames.append(
+                    {
+                        "direction": direction,
+                        "benchmark": row["benchmark"],
+                        "suite": row["suite"],
+                        "ks": float(row["ks"]),
+                    }
+                )
     return ColumnTable.from_rows(frames)
 
 

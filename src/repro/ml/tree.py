@@ -304,13 +304,23 @@ class RegressionTree(Regressor):
 
     @property
     def max_reached_depth(self) -> int:
-        """Depth actually reached by the fitted tree."""
-        depth = np.zeros(self.node_count, dtype=np.intp)
-        for nid in range(self.node_count):
-            if self._left[nid] >= 0:
-                depth[self._left[nid]] = depth[nid] + 1
-                depth[self._right[nid]] = depth[nid] + 1
-        return int(depth.max()) if self.node_count else 0
+        """Depth actually reached by the fitted tree.
+
+        Level-order array pass: each iteration expands the whole frontier
+        of internal nodes through ``_left``/``_right`` at once, so the
+        cost is one vectorized gather per level instead of a Python loop
+        over every node.
+        """
+        if not self.node_count:
+            return 0
+        left, right = self._left, self._right
+        frontier = np.zeros(1, dtype=np.intp)
+        depth = -1
+        while frontier.size:
+            depth += 1
+            parents = frontier[left[frontier] >= 0]
+            frontier = np.concatenate([left[parents], right[parents]])
+        return depth
 
     def _predict(self, X: np.ndarray) -> np.ndarray:
         # Vectorized traversal: advance all rows one level per iteration.

@@ -74,8 +74,14 @@ def _summarize(counters: dict, gauges: dict, stages: dict[str, float]) -> dict:
         "pool": {
             "map_calls": c("pool.map.calls", 0),
             "items": c("pool.map.items", 0),
+            "chunks": c("pool.map.chunks", 0),
             "serial_inline": c("pool.map.serial_inline", 0),
+            "reuse": c("pool.reuse", 0),
+            "retries": c("pool.map.retries", 0),
+            "shm_bytes_mapped": gauges.get("pool.shm_bytes_mapped"),
+            "shm_bytes_saved": c("pool.shm_bytes_saved", 0),
             "worker_utilization": gauges.get("pool.worker_utilization"),
             "fn_pickle_bytes": gauges.get("pool.fn_pickle_bytes"),
+            "chunk0_pickle_bytes": gauges.get("pool.chunk0_pickle_bytes"),
         },
     }

@@ -1,7 +1,10 @@
-"""Parallel execution harness: deterministic seeding + process-pool map."""
+"""Parallel execution harness: deterministic seeding, process-pool map,
+the persistent worker pool and its shared-memory zero-copy data plane."""
 
 from .pool import default_workers, parallel_map
 from .seeding import seed_for, spawn_generators, stable_hash
+from .shm import ArrayRef, SharedArrayStore, attach, shm_available
+from .worker_pool import WorkerPool
 
 __all__ = [
     "default_workers",
@@ -9,4 +12,9 @@ __all__ = [
     "seed_for",
     "spawn_generators",
     "stable_hash",
+    "WorkerPool",
+    "SharedArrayStore",
+    "ArrayRef",
+    "attach",
+    "shm_available",
 ]

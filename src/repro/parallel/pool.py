@@ -2,7 +2,8 @@
 
 Simulated measurement campaigns (60 benchmarks x 2 systems x 1000 runs)
 and cross-validation sweeps are embarrassingly parallel.  ``parallel_map``
-wraps ``concurrent.futures.ProcessPoolExecutor`` with the ergonomics this
+wraps one transient :class:`~repro.parallel.worker_pool.WorkerPool` —
+which holds all the dispatch machinery — with the ergonomics this
 library needs:
 
 * order-preserving results;
@@ -11,6 +12,11 @@ library needs:
   inline — important under pytest where workers can be restricted);
 * deterministic behaviour: parallelism never changes results because all
   randomness flows through per-task seeds (:mod:`repro.parallel.seeding`).
+
+Call sites that dispatch repeatedly (the grid runners) should create a
+:class:`~repro.parallel.worker_pool.WorkerPool` directly and reuse it —
+the pool is persistent, amortizing process spawn across dispatches, and
+exposes the shared-memory zero-copy plane (:mod:`repro.parallel.shm`).
 
 With :mod:`repro.obs` enabled, every call emits the ``pool.*`` dispatch
 telemetry (task counts, per-chunk wait-latency histogram, pickled-callable
@@ -23,63 +29,15 @@ therefore excluded from the cross-worker determinism promise that the
 
 from __future__ import annotations
 
-import os
-import pickle
-import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Iterable, TypeVar
 
-from .. import obs
 from .._validation import check_positive_int
+from .worker_pool import WorkerPool, default_workers
 
 __all__ = ["parallel_map", "default_workers"]
 
 T = TypeVar("T")
 R = TypeVar("R")
-
-
-def default_workers() -> int:
-    """Worker count: ``REPRO_WORKERS`` env var or CPU count (capped at 16)."""
-    env = os.environ.get("REPRO_WORKERS")
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            pass
-    return max(1, min(os.cpu_count() or 1, 16))
-
-
-def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> list[R]:
-    return [fn(item) for item in chunk]
-
-
-def _run_chunk_timed(
-    fn: Callable[[T], R], chunk: Sequence[T]
-) -> tuple[list[R], float]:
-    """:func:`_run_chunk` plus the worker-side busy time, for utilization.
-
-    Used instead of :func:`_run_chunk` when :mod:`repro.obs` is enabled
-    in the parent; the timing wrapper cannot change results because the
-    items are processed identically.
-    """
-    t0 = time.perf_counter()
-    results = [fn(item) for item in chunk]
-    return results, time.perf_counter() - t0
-
-
-def _is_picklable(fn: Callable) -> bool:
-    """Whether *fn* can cross a process boundary.
-
-    Checked *before* any pool work is submitted, so un-picklable
-    callables (closures, lambdas, bound locals) take the serial path
-    directly instead of failing mid-flight and re-running everything.
-    """
-    try:
-        pickle.dumps(fn)
-        return True
-    except Exception:
-        return False
 
 
 def parallel_map(
@@ -101,66 +59,16 @@ def parallel_map(
     n_workers:
         Process count; ``None`` = :func:`default_workers`, ``1`` = serial.
     chunk_size:
-        Items per task; ``None`` picks ``ceil(n / (4 * workers))``.
+        Items per task; ``None`` sizes chunks adaptively (static
+        ``ceil(n / (4 * workers))`` on a cold pool).
     """
     work = list(items)
     if not work:
         return []
-    obs.counter("pool.map.calls")
-    obs.counter("pool.map.items", len(work))
-    workers = default_workers() if n_workers is None else check_positive_int(n_workers, name="n_workers")
-    workers = min(workers, len(work))
-    if workers == 1:
-        obs.counter("pool.map.serial_inline")
-        return [fn(item) for item in work]
-    if not _is_picklable(fn):
-        # Closures and lambdas cannot cross process boundaries; run
-        # inline rather than letting every pool task fail.
-        obs.counter("pool.map.unpicklable")
-        obs.counter("pool.map.serial_inline")
-        return [fn(item) for item in work]
-    if chunk_size is None:
-        chunk_size = max(1, -(-len(work) // (4 * workers)))
-    chunks = [work[i : i + chunk_size] for i in range(0, len(work), chunk_size)]
-    telemetry = obs.enabled()
-    if telemetry:
-        obs.counter("pool.map.chunks", len(chunks))
-        obs.gauge("pool.fn_pickle_bytes", len(pickle.dumps(fn)))
-        obs.gauge("pool.chunk0_pickle_bytes", len(pickle.dumps(chunks[0])))
-    run_chunk = _run_chunk_timed if telemetry else _run_chunk
-    try:
-        with obs.span("pool.map", n_items=len(work), n_workers=workers,
-                      n_chunks=len(chunks)):
-            t_start = time.perf_counter()
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(run_chunk, fn, chunk) for chunk in chunks]
-                results: list[R] = []
-                busy_s = 0.0
-                for fut in futures:
-                    t_wait = time.perf_counter()
-                    outcome = fut.result()
-                    if telemetry:
-                        chunk_results, chunk_busy = outcome
-                        busy_s += chunk_busy
-                        obs.observe(
-                            "pool.chunk_wait_s", time.perf_counter() - t_wait
-                        )
-                    else:
-                        chunk_results = outcome
-                    results.extend(chunk_results)
-            if telemetry:
-                wall = time.perf_counter() - t_start
-                if wall > 0.0:
-                    obs.gauge(
-                        "pool.worker_utilization",
-                        min(1.0, busy_s / (workers * wall)),
-                    )
-            return results
-    except (BrokenProcessPool, OSError, ImportError):
-        # The *environment* failed (sandbox forbids spawning, workers
-        # were killed), not the task: the serial path is still correct.
-        # Genuine task exceptions propagate to the caller instead of
-        # being silently retried.
-        obs.counter("pool.map.pool_broken")
-        obs.counter("pool.map.serial_inline")
-        return [fn(item) for item in work]
+    workers = (
+        default_workers()
+        if n_workers is None
+        else check_positive_int(n_workers, name="n_workers")
+    )
+    with WorkerPool(workers) as pool:
+        return pool.map(fn, work, chunk_size=chunk_size)

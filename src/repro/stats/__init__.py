@@ -17,7 +17,14 @@ from .bootstrap import AdaptiveStoppingRule, StoppingDecision, bootstrap_ci, boo
 from .empirical import ECDF, quantiles, relative_time, summary_quantiles, trim_outliers
 from .histogram import DensityHistogram, HistogramGrid
 from .kde import GaussianKDE, scott_bandwidth, silverman_bandwidth
-from .ks import KSResult, ks_2samp, ks_against_cdf, ks_against_grid_cdf, ks_statistic
+from .ks import (
+    KSResult,
+    ks_2samp,
+    ks_against_cdf,
+    ks_against_grid_cdf,
+    ks_statistic,
+    ks_statistic_many,
+)
 from .maxent import MaxEntDensity, maxent_from_moments
 from .modes import Mode, ModeAgreement, find_modes, mode_agreement
 from .moments import (
@@ -52,6 +59,7 @@ __all__ = [
     "ks_against_cdf",
     "ks_against_grid_cdf",
     "ks_statistic",
+    "ks_statistic_many",
     "MaxEntDensity",
     "maxent_from_moments",
     "Mode",

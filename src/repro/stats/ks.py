@@ -23,6 +23,7 @@ __all__ = [
     "KSResult",
     "ks_2samp",
     "ks_statistic",
+    "ks_statistic_many",
     "ks_against_cdf",
     "ks_against_grid_cdf",
     "kolmogorov_sf",
@@ -64,6 +65,27 @@ def ks_statistic(a, b) -> float:
     cdf_x = np.searchsorted(x, grid, side="right") / x.size
     cdf_y = np.searchsorted(y, grid, side="right") / y.size
     return float(np.max(np.abs(cdf_x - cdf_y)))
+
+
+def ks_statistic_many(preds, measured) -> np.ndarray:
+    """Two-sample KS of many prediction samples against one measured sample.
+
+    Bit-identical to calling :func:`ks_statistic` per prediction — the
+    per-pair arithmetic is the same searchsorted merge — but the measured
+    sample is validated and sorted exactly once, which matters when the
+    same 1,000-run campaign is scored against dozens of predicted samples
+    (the probe-size sweep, the direction study).
+    """
+    work = list(preds)
+    y = np.sort(as_sample_array(measured, name="measured", min_size=1))
+    out = np.empty(len(work), dtype=np.float64)
+    for i, pred in enumerate(work):
+        x = np.sort(as_sample_array(pred, name="pred", min_size=1))
+        grid = np.concatenate([x, y])
+        cdf_x = np.searchsorted(x, grid, side="right") / x.size
+        cdf_y = np.searchsorted(y, grid, side="right") / y.size
+        out[i] = np.max(np.abs(cdf_x - cdf_y))
+    return out
 
 
 def ks_2samp(a, b) -> KSResult:

@@ -8,9 +8,14 @@ from repro.core.evaluation import (
     evaluate_cross_system,
     evaluate_few_runs,
     get_model,
+    score_fold_vectors,
+    score_vector_sets,
     summarize_ks,
 )
-from repro.core.representations import PearsonRndRepresentation
+from repro.core.representations import (
+    HistogramRepresentation,
+    PearsonRndRepresentation,
+)
 from repro.errors import ValidationError
 from repro.ml.boosting import GradientBoostingRegressor
 from repro.ml.forest import RandomForestRegressor
@@ -101,3 +106,52 @@ class TestEvaluateCrossSystem:
                 representation=PearsonRndRepresentation(),
                 model="knn",
             )
+
+
+class TestBatchedScoring:
+    """score_vector_sets must be bit-identical to per-set scoring."""
+
+    @pytest.fixture()
+    def measured(self, rng):
+        return {
+            "npb/cg": 1.0 + 0.02 * rng.normal(size=400),
+            "npb/is": 1.0 + 0.05 * rng.standard_exponential(size=400),
+            "parsec/canneal": 1.0 + 0.03 * rng.normal(size=400),
+        }
+
+    @staticmethod
+    def _vector_sets(rng, measured, n_dims, n_sets=3):
+        return [
+            {
+                bench: np.array([1.0, 0.03, 0.1, 3.2][:n_dims])
+                + 0.01 * rng.normal(size=n_dims)
+                for bench in measured
+            }
+            for _ in range(n_sets)
+        ]
+
+    def test_pearsonrnd_matches_sequential(self, rng, measured):
+        rep = PearsonRndRepresentation()
+        sets = self._vector_sets(rng, measured, rep.n_dims)
+        batched = score_vector_sets(sets, rep, measured, seed=7)
+        for vectors, tab in zip(sets, batched):
+            ref = score_fold_vectors(vectors, rep, measured, seed=7)
+            assert list(tab["benchmark"]) == list(ref["benchmark"])
+            assert np.array_equal(np.asarray(tab["ks"]), np.asarray(ref["ks"]))
+
+    def test_default_path_matches_sequential(self, rng, measured):
+        rep = HistogramRepresentation()
+        sets = [
+            {
+                bench: np.abs(rng.normal(size=rep.n_dims)) + 0.1
+                for bench in measured
+            }
+            for _ in range(2)
+        ]
+        batched = score_vector_sets(sets, rep, measured, seed=7)
+        for vectors, tab in zip(sets, batched):
+            ref = score_fold_vectors(vectors, rep, measured, seed=7)
+            assert np.array_equal(np.asarray(tab["ks"]), np.asarray(ref["ks"]))
+
+    def test_empty_sets(self, measured):
+        assert score_vector_sets([], PearsonRndRepresentation(), measured, seed=7) == []

@@ -111,6 +111,32 @@ class TestUseCase1Runners:
         assert mean10 <= mean2 + 0.02
         assert "n=2" in sweep_report(sweep, title="Fig6 (tiny)")
 
+    def test_sample_sweep_matches_per_size_evaluation(self, tiny_intel, tiny_config):
+        # The batched-scoring sweep must be bit-identical to the naive
+        # one-evaluate_few_runs-per-probe-size loop it replaced.
+        from repro.core.evaluation import evaluate_few_runs
+        from repro.core.representations import get_representation
+
+        sweep = sample_count_sweep(tiny_intel, tiny_config)
+        rep = get_representation("pearsonrnd")
+        for n_samples in tiny_config.sample_counts:
+            ref = evaluate_few_runs(
+                tiny_intel,
+                representation=rep,
+                model="knn",
+                n_probe_runs=n_samples,
+                n_replicas=tiny_config.n_replicas_uc1,
+                seed=tiny_config.eval_seed,
+                n_workers=tiny_config.n_workers,
+            )
+            mask = np.asarray(sweep["n_samples"]) == n_samples
+            assert list(np.asarray(sweep["benchmark"])[mask]) == list(
+                ref["benchmark"]
+            )
+            assert np.array_equal(
+                np.asarray(sweep["ks"], dtype=float)[mask], np.asarray(ref["ks"])
+            )
+
     def test_overlays(self, tiny_intel, tiny_config):
         examples = overlay_examples(
             tiny_intel, ("spec_omp/376", "rodinia/heartwall"), tiny_config

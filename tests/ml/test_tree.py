@@ -30,6 +30,24 @@ class TestFitting:
         t = RegressionTree(max_depth=3).fit(X, y)
         assert t.max_reached_depth <= 3
 
+    def test_max_reached_depth_matches_per_node_reference(self, rng):
+        for max_depth, n in ((1, 30), (4, 120), (None, 250)):
+            X = rng.normal(size=(n, 3))
+            y = rng.normal(size=n)
+            t = RegressionTree(max_depth=max_depth, min_samples_leaf=2).fit(X, y)
+            depth = np.zeros(t.node_count, dtype=np.intp)
+            for nid in range(t.node_count):
+                if t._left[nid] >= 0:
+                    depth[t._left[nid]] = depth[nid] + 1
+                    depth[t._right[nid]] = depth[nid] + 1
+            assert t.max_reached_depth == int(depth.max())
+
+    def test_max_reached_depth_single_leaf(self):
+        X = np.ones((5, 1))
+        y = np.ones(5)
+        t = RegressionTree().fit(X, y)
+        assert t.max_reached_depth == 0
+
     def test_min_samples_leaf(self, rng):
         X = rng.normal(size=(50, 2))
         y = rng.normal(size=50)

@@ -14,6 +14,7 @@ from repro.stats.ks import (
     ks_against_cdf,
     ks_against_grid_cdf,
     ks_statistic,
+    ks_statistic_many,
 )
 
 
@@ -54,6 +55,26 @@ class TestTwoSample:
         b = [1.0, 2.0, 2.0, 2.0]
         # F_a(1) = 0.75, F_b(1) = 0.25 -> D = 0.5
         assert ks_statistic(a, b) == pytest.approx(0.5)
+
+
+class TestBatchedTwoSample:
+    def test_bit_identical_to_per_pair_calls(self, rng):
+        measured = rng.normal(size=1000)
+        preds = [
+            rng.normal(scale=1.0 + 0.1 * i, size=n)
+            for i, n in enumerate((5, 50, 400, 1000))
+        ]
+        batched = ks_statistic_many(preds, measured)
+        assert batched.shape == (4,)
+        for d, pred in zip(batched, preds):
+            assert d == ks_statistic(pred, measured)  # exact, not approx
+
+    def test_empty_pred_list(self, rng):
+        assert ks_statistic_many([], rng.normal(size=10)).shape == (0,)
+
+    def test_invalid_pred_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            ks_statistic_many([np.array([])], rng.normal(size=10))
 
 
 class TestOneSample:

@@ -1,0 +1,199 @@
+"""Tests for the persistent worker pool and shared-memory data plane.
+
+The contract under test: a persistent :class:`WorkerPool` reuses its
+workers across dispatches, recovers from worker death, and never leaks a
+shared-memory segment — and neither the pool, the worker count, nor the
+dispatch plane (pickle vs shm) may change a single bit of any result.
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel.shm import ArrayRef, SharedArrayStore, attach, shm_available
+from repro.parallel.worker_pool import WorkerPool
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="no usable shared memory in this environment"
+)
+
+
+def square(x):
+    return x * x
+
+
+def die_in_worker(x):
+    # Only kills child processes: the serial-fallback rerun in the
+    # parent must succeed, which is exactly what the recovery path
+    # promises for pure tasks.
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return x * x
+
+
+class TestSharedArrayStore:
+    @needs_shm
+    def test_publish_attach_roundtrip(self):
+        arr = np.arange(24, dtype=np.float64).reshape(4, 6)
+        with SharedArrayStore() as store:
+            ref = store.publish(arr)
+            assert isinstance(ref, ArrayRef)
+            assert ref.shape == (4, 6)
+            assert ref.nbytes == arr.nbytes
+            view = attach(ref)
+            assert np.array_equal(view, arr)
+            assert not view.flags.writeable
+
+    @needs_shm
+    def test_publish_dedups_by_identity(self):
+        arr = np.ones((8, 3))
+        with SharedArrayStore() as store:
+            r1 = store.publish(arr)
+            r2 = store.publish(arr)
+            assert r1 is r2
+            assert store.n_segments == 1
+            assert store.publish(arr.copy()).segment != r1.segment
+            assert store.n_segments == 2
+            assert store.bytes_mapped == 2 * arr.nbytes
+
+    @needs_shm
+    def test_close_unlinks_segments(self):
+        from multiprocessing import shared_memory
+
+        store = SharedArrayStore()
+        ref = store.publish(np.zeros(16))
+        store.close()
+        store.close()  # idempotent
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=ref.segment, create=False)
+
+    @needs_shm
+    def test_segments_unlinked_when_dispatch_raises(self):
+        from multiprocessing import shared_memory
+
+        refs = []
+        with pytest.raises(RuntimeError, match="boom"):
+            with WorkerPool(2) as pool:
+                store = pool.shm
+                assert store is not None
+                refs.append(store.publish(np.zeros((32, 4))))
+                raise RuntimeError("boom")
+        for ref in refs:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=ref.segment, create=False)
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        assert shm_available() is False
+        assert WorkerPool(2).shm is None
+
+    def test_closed_store_refuses_publish(self):
+        store = SharedArrayStore()
+        store.close()
+        with pytest.raises(RuntimeError):
+            store.publish(np.zeros(4))
+
+
+class TestWorkerPool:
+    def test_map_preserves_order_and_reuses_executor(self):
+        with WorkerPool(2) as pool:
+            out1 = pool.map(square, range(20), chunk_size=3)
+            executor = pool._executor
+            out2 = pool.map(square, range(20, 40), chunk_size=3)
+            assert pool._executor is executor  # persistent, not respawned
+        assert out1 == [x * x for x in range(20)]
+        assert out2 == [x * x for x in range(20, 40)]
+
+    def test_single_worker_never_spawns(self):
+        with WorkerPool(1) as pool:
+            assert pool.map(square, range(5)) == [0, 1, 4, 9, 16]
+            assert pool._executor is None
+            assert pool.shm is None
+
+    def test_worker_crash_recovers_serially(self):
+        with WorkerPool(2) as pool:
+            out = pool.map(die_in_worker, range(6), chunk_size=2)
+        assert out == [x * x for x in range(6)]
+
+    def test_pool_usable_after_crash_recovery(self):
+        with WorkerPool(2) as pool:
+            pool.map(die_in_worker, range(4), chunk_size=1)
+            assert pool.map(square, range(10), chunk_size=2) == [
+                x * x for x in range(10)
+            ]
+
+    def test_closed_pool_rejects_dispatch(self):
+        pool = WorkerPool(2)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.map(square, range(8), chunk_size=2)
+
+    def test_adaptive_chunking_clamps(self):
+        pool = WorkerPool(4)
+        # No cost estimate: static heuristic.
+        assert pool._auto_chunk(100, 4) == 7
+        # Fast items batch up, capped at one chunk per worker.
+        pool._cost_ewma = 1e-6
+        assert pool._auto_chunk(100, 4) == 25
+        # Slow items: one item per chunk.
+        pool._cost_ewma = 10.0
+        assert pool._auto_chunk(100, 4) == 1
+        pool.close()
+
+
+class TestPlaneBitIdentity:
+    """KS results identical: serial vs pooled vs shm, workers 1/2/4."""
+
+    @pytest.fixture(scope="class")
+    def campaigns(self):
+        from repro.simbench.runner import measure_all
+
+        return measure_all(
+            "intel",
+            benchmarks=("npb/cg", "npb/is", "rodinia/heartwall", "parsec/canneal"),
+            n_runs=60,
+            root_seed=13,
+        )
+
+    def _ks(self, campaigns, n_workers, monkeypatch, *, shm_on):
+        from repro.core.evaluation import evaluate_few_runs
+        from repro.core.representations import PearsonRndRepresentation
+
+        monkeypatch.setenv("REPRO_SHM", "1" if shm_on else "0")
+        with WorkerPool(n_workers) as pool:
+            tab = evaluate_few_runs(
+                campaigns,
+                representation=PearsonRndRepresentation(),
+                model="knn",
+                n_probe_runs=8,
+                n_replicas=2,
+                n_workers=n_workers,
+                pool=pool,
+            )
+        return np.asarray(tab["ks"])
+
+    def test_ks_identical_across_planes_and_workers(self, campaigns, monkeypatch):
+        baseline = self._ks(campaigns, 1, monkeypatch, shm_on=False)
+        for n_workers in (1, 2, 4):
+            for shm_on in (False, True):
+                ks = self._ks(campaigns, n_workers, monkeypatch, shm_on=shm_on)
+                assert np.array_equal(ks, baseline), (n_workers, shm_on)
+
+    @needs_shm
+    def test_shm_plane_actually_engaged(self, campaigns, monkeypatch):
+        from repro import obs
+
+        monkeypatch.setenv("REPRO_SHM", "1")
+        obs.enable()
+        try:
+            self._ks(campaigns, 2, monkeypatch, shm_on=True)
+            counters = {
+                r["name"]: r["value"]
+                for r in obs.trace_records()
+                if r.get("type") == "counter"
+            }
+        finally:
+            obs.disable()
+        assert counters.get("pool.shm_bytes_saved", 0) > 0

@@ -84,7 +84,33 @@ def run_grid() -> dict:
         "wall_s": wall,
         "ks_checksum": float(ks.sum()),
         "n_grid_rows": int(len(ks)),
+        "dispatch": dispatch_bytes(summary),
         "obs": summary,
+    }
+
+
+def dispatch_bytes(summary: dict) -> dict:
+    """Derive the before/after IPC payload comparison from the obs summary.
+
+    ``bytes_after`` estimates what actually crossed the pipe (last
+    chunk-payload gauge × chunk count); ``bytes_before`` adds back the
+    per-fold matrix copies the shared-memory plane kept out of the task
+    pickles (``pool.shm_bytes_saved``), i.e. what the pickling plane
+    would have shipped.  All zeros/None in serial runs.
+    """
+    pool = summary.get("pool", {})
+    chunk0 = pool.get("chunk0_pickle_bytes") or 0
+    chunks = pool.get("chunks") or 0
+    saved = pool.get("shm_bytes_saved") or 0
+    after = int(chunk0 * chunks)
+    before = after + int(saved)
+    return {
+        "plane": "shm" if saved else ("pickle" if chunks else "serial"),
+        "shm_bytes_mapped": pool.get("shm_bytes_mapped"),
+        "matrix_bytes_avoided": int(saved),
+        "bytes_after_estimate": after,
+        "bytes_before_estimate": before,
+        "reduction_factor": (before / after) if after else None,
     }
 
 
@@ -107,6 +133,14 @@ def main() -> int:
     print(f"[bench] {record['benchmark']} scale={record['scale']} "
           f"workers={record['n_workers']}: {stages} (wall {record['wall_s']:.2f}s)")
     print(f"[bench] ks_checksum={record['ks_checksum']!r}")
+    d = record["dispatch"]
+    factor = d["reduction_factor"]
+    print(
+        f"[bench] dispatch plane={d['plane']} "
+        f"bytes_before~{d['bytes_before_estimate']} "
+        f"bytes_after~{d['bytes_after_estimate']}"
+        + (f" ({factor:.1f}x smaller)" if factor else "")
+    )
 
     record["tier1_passed"] = run_tier1()
 
