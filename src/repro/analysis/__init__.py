@@ -1,0 +1,58 @@
+"""repro.analysis — AST-based invariant linter for this repository.
+
+The reproduction's headline guarantee — a bit-identical KS checksum
+(31.002131067134854) across serial, pooled and shared-memory execution
+at any worker count — rests on codebase-wide conventions that no
+general-purpose linter checks: all randomness derives from
+``seed_for``/``default_rng`` streams, every emitted metric/span name is
+documented in ``docs/OBSERVABILITY.md``, shared-memory segments always
+unlink, and pool-dispatched callables actually pickle.  This package
+machine-checks those invariants.
+
+Layout:
+
+* :mod:`~repro.analysis.walker` — source discovery, parsing, scope
+  classification;
+* :mod:`~repro.analysis.core` — :class:`Finding`, :class:`Rule`, the
+  registry;
+* :mod:`~repro.analysis.suppressions` — ``# repro: noqa[RULE-ID]``;
+* rule packs: :mod:`~repro.analysis.determinism` (``DET*``),
+  :mod:`~repro.analysis.concurrency` (``CONC*``),
+  :mod:`~repro.analysis.obs_contract` (``OBS*``),
+  :mod:`~repro.analysis.docstrings` (``DOC*``);
+* :mod:`~repro.analysis.runner` / :mod:`~repro.analysis.reporters` /
+  :mod:`~repro.analysis.cli` — driver, human/JSON output,
+  ``python -m repro.analysis``.
+
+The full rule catalog, rationale and suppression syntax are documented
+in ``docs/STATIC_ANALYSIS.md``; ``tests/analysis/test_repo_clean.py``
+runs the whole rule set over the repository as part of tier-1.
+"""
+
+from .core import Finding, Rule, all_rules, register, rule_catalog
+from .reporters import REPORT_SCHEMA, REPORT_VERSION, render_human, render_json
+from .runner import AnalysisReport, repo_root, run_analysis
+from .walker import Project, Scope, SourceFile, build_project, parse_source
+
+# Importing the packs populates the rule registry.
+from . import concurrency, determinism, docstrings, obs_contract  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "register",
+    "all_rules",
+    "rule_catalog",
+    "AnalysisReport",
+    "run_analysis",
+    "repo_root",
+    "Project",
+    "Scope",
+    "SourceFile",
+    "build_project",
+    "parse_source",
+    "render_human",
+    "render_json",
+    "REPORT_SCHEMA",
+    "REPORT_VERSION",
+]

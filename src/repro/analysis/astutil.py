@@ -1,0 +1,39 @@
+"""Small AST helpers shared by the rule packs."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["dotted_name", "call_chain", "first_arg", "enclosing_function"]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``"np.random.seed"`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_chain(call: ast.Call) -> str | None:
+    """Dotted name of a call's callee, or ``None`` for computed callees."""
+    return dotted_name(call.func)
+
+
+def first_arg(call: ast.Call) -> ast.expr | None:
+    """First positional argument of *call*, or ``None``."""
+    return call.args[0] if call.args else None
+
+
+def enclosing_function(node: ast.AST, parent_of) -> ast.AST | None:
+    """Nearest enclosing function def of *node* (via parent links)."""
+    cur = parent_of(node)
+    while cur is not None:
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return cur
+        cur = parent_of(cur)
+    return None

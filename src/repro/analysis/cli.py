@@ -1,0 +1,124 @@
+"""Command-line interface: ``python -m repro.analysis``.
+
+Examples::
+
+    python -m repro.analysis                       # whole repo, human output
+    python -m repro.analysis --format json -o results/ANALYSIS_baseline.json
+    python -m repro.analysis src/repro/stats       # one subtree
+    python -m repro.analysis --select DET001,DET005
+    python -m repro.analysis --root tests/analysis/fixtures   # any corpus
+    python -m repro.analysis --list-rules
+
+Exit status: 0 when no unsuppressed finding remains, 1 otherwise,
+2 on usage errors (unknown rule ids, missing paths).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .core import rule_catalog
+from .reporters import render_human, render_json
+from .runner import run_analysis
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST-based invariant linter: determinism, concurrency/data-plane, "
+            "observability-contract and docstring rules for this repository."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (default: src, tools, tests)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="project root for relative paths and scope classification "
+        "(default: this repository)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=None,
+        help="write the report to a file instead of stdout",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings in human output",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _split_ids(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the analyzer; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rid, name, rationale in rule_catalog():
+            print(f"{rid}  {name}\n    {rationale}")
+        return 0
+    for path in args.paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+    try:
+        report = run_analysis(
+            args.paths or None,
+            root=args.root,
+            select=_split_ids(args.select),
+            ignore=_split_ids(args.ignore),
+        )
+    except ValueError as exc:  # unknown rule ids
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        text = render_json(report)
+    else:
+        text = render_human(report, show_suppressed=args.show_suppressed) + "\n"
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(text)
+    else:
+        sys.stdout.write(text)
+    return report.exit_code

@@ -1,0 +1,269 @@
+"""CONC rule pack — data-plane and pool-dispatch invariants.
+
+The worker pool and shared-memory plane keep their guarantees only when
+call sites hold up their end: dispatched callables must cross process
+boundaries (else the pool silently runs serial and the parallel paths
+are never exercised), every published segment must be unlinked on all
+paths (``SharedArrayStore`` owns that — provided it is used as a
+context manager or owned by an object with a ``close`` lifecycle), raw
+segment creation stays inside ``repro.parallel.shm`` (the single owner
+of unlink bookkeeping), and attached views are never written (a write
+would race with sibling workers reading the same bytes).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .astutil import call_chain, enclosing_function, first_arg
+from .core import Finding, Rule, register
+from .walker import SourceFile
+
+__all__ = [
+    "UnpicklableDispatchRule",
+    "ShmLifecycleRule",
+    "RawSegmentRule",
+    "SharedViewMutationRule",
+]
+
+
+def _parsed(source: SourceFile) -> bool:
+    return source.tree is not None
+
+
+def _module_level_defs(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Import):
+            names.update(alias.asname or alias.name.split(".")[0] for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            names.update(alias.asname or alias.name for alias in node.names)
+    return names
+
+
+def _nested_defs(tree: ast.Module, parent_of) -> set[str]:
+    nested: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if enclosing_function(node, parent_of) is not None:
+                nested.add(node.name)
+    return nested
+
+
+def _lambda_bindings(tree: ast.Module) -> set[str]:
+    bound: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+    return bound
+
+
+def _is_dispatch_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "parallel_map"
+    if isinstance(func, ast.Attribute) and func.attr == "map":
+        # `<receiver>.map(fn, items)` — process pools in this codebase;
+        # the builtin map() is a bare Name and never matches.
+        return not (
+            isinstance(func.value, ast.Name) and func.value.id in ("self", "cls")
+        )
+    return False
+
+
+@register
+class UnpicklableDispatchRule(Rule):
+    """Pool-dispatched callables must be module-level picklable."""
+
+    rule_id = "CONC001"
+    name = "unpicklable-dispatch"
+    rationale = (
+        "WorkerPool.map / parallel_map fall back to serial, silently, when "
+        "the callable cannot pickle; lambdas and nested defs therefore "
+        "disable the very parallelism the call asks for."
+    )
+
+    def applies_to(self, source: SourceFile) -> bool:
+        """Everywhere — a silently-serial dispatch is a bug in any tree."""
+        return _parsed(source)
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        """Flag lambdas / nested defs handed to a pool dispatch."""
+        tree = source.tree
+        nested = _nested_defs(tree, source.parent)
+        module_level = _module_level_defs(tree)
+        lambdas = _lambda_bindings(tree)
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and _is_dispatch_call(node)):
+                continue
+            fn = first_arg(node)
+            if fn is None:
+                continue
+            if isinstance(fn, ast.Lambda):
+                yield self.finding(
+                    source,
+                    fn,
+                    "lambda dispatched through a process pool cannot pickle "
+                    "and silently runs serial; hoist it to a module-level def",
+                )
+            elif isinstance(fn, ast.Name):
+                if fn.id in lambdas or (
+                    fn.id in nested and fn.id not in module_level
+                ):
+                    yield self.finding(
+                        source,
+                        fn,
+                        f"`{fn.id}` is defined inside a function scope and "
+                        "cannot pickle for pool dispatch; hoist it to module "
+                        "level (or functools.partial of a module-level def)",
+                    )
+
+
+@register
+class ShmLifecycleRule(Rule):
+    """``SharedArrayStore()`` must have an owned unlink path."""
+
+    rule_id = "CONC002"
+    name = "shm-lifecycle"
+    rationale = (
+        "a store constructed as a bare local can leak /dev/shm segments when "
+        "an exception skips close(); construct it in a `with` block or assign "
+        "it to an instance attribute of an object whose close() runs it."
+    )
+
+    def applies_to(self, source: SourceFile) -> bool:
+        """Everywhere except the defining module itself."""
+        return _parsed(source) and not source.relpath.endswith("repro/parallel/shm.py")
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        """Flag bare-local construction of SharedArrayStore."""
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = call_chain(node)
+            if chain is None or chain.split(".")[-1] != "SharedArrayStore":
+                continue
+            parent = source.parent(node)
+            if isinstance(parent, ast.withitem):
+                continue
+            if isinstance(parent, ast.Assign) and all(
+                isinstance(t, ast.Attribute)
+                and isinstance(t.value, ast.Name)
+                and t.value.id == "self"
+                for t in parent.targets
+            ):
+                continue  # lifecycle owned by the enclosing object's close()
+            yield self.finding(
+                source,
+                node,
+                "SharedArrayStore() outside a `with` block or self-attribute "
+                "assignment; segments may leak if close() is skipped",
+            )
+
+
+@register
+class RawSegmentRule(Rule):
+    """Raw shared-memory segments are created only inside the shm module."""
+
+    rule_id = "CONC003"
+    name = "raw-shm-segment"
+    rationale = (
+        "repro.parallel.shm is the single owner of segment unlink "
+        "bookkeeping; SharedMemory(create=True) anywhere else bypasses the "
+        "always-unlinked guarantee (attaching with create=False is fine)."
+    )
+
+    def applies_to(self, source: SourceFile) -> bool:
+        """Everywhere except the owning module."""
+        return _parsed(source) and not source.relpath.endswith("repro/parallel/shm.py")
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        """Flag ``SharedMemory(..., create=True, ...)`` calls."""
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = call_chain(node)
+            if chain is None or chain.split(".")[-1] != "SharedMemory":
+                continue
+            creates = any(
+                kw.arg == "create"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in node.keywords
+            )
+            if creates:
+                yield self.finding(
+                    source,
+                    node,
+                    "raw SharedMemory(create=True) outside repro.parallel.shm; "
+                    "publish through a SharedArrayStore so the segment is "
+                    "always unlinked",
+                )
+
+
+_MUTATING_METHODS = {"fill", "sort", "put", "itemset", "partition", "resize", "setfield"}
+
+
+@register
+class SharedViewMutationRule(Rule):
+    """Views returned by ``attach`` are read-only and must stay so."""
+
+    rule_id = "CONC004"
+    name = "shared-view-mutation"
+    rationale = (
+        "attach() maps the parent's segment read-only because sibling "
+        "workers read the same bytes concurrently; writing through the view "
+        "(or flipping writeable) is a data race on the fold inputs."
+    )
+
+    def applies_to(self, source: SourceFile) -> bool:
+        """Everywhere — worker-side code lives in several trees."""
+        return _parsed(source)
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        """Flag writes to names bound from ``attach(...)``."""
+        attached: set[str] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                chain = call_chain(node.value)
+                if chain is not None and chain.split(".")[-1] == "attach":
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            attached.add(target.id)
+        if not attached:
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    base = target
+                    while isinstance(base, (ast.Subscript, ast.Attribute)):
+                        base = base.value
+                    if (
+                        isinstance(base, ast.Name)
+                        and base.id in attached
+                        and base is not target
+                    ):
+                        yield self.finding(
+                            source,
+                            node,
+                            f"write through `{base.id}`, a read-only shared "
+                            "view from attach(); copy before mutating",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if (
+                    node.func.attr in _MUTATING_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in attached
+                ):
+                    yield self.finding(
+                        source,
+                        node,
+                        f"mutating method `.{node.func.attr}()` on a read-only "
+                        "shared view from attach(); copy before mutating",
+                    )

@@ -1,0 +1,140 @@
+"""Rule model of the static-analysis framework.
+
+Three pieces:
+
+* :class:`Finding` — one diagnostic, anchored to ``path:line:col`` and
+  carrying its rule id, so reporters and the suppression matcher never
+  need the rule object itself;
+* :class:`Rule` — the base class every check subclasses.  A rule sees
+  each parsed source file once (:meth:`Rule.check`) and may emit
+  project-wide findings after the walk (:meth:`Rule.finalize`), which is
+  how cross-file invariants (e.g. *documented-but-dead* metric names)
+  are expressed;
+* the **registry** — rules self-register at import time via
+  :func:`register`; :func:`all_rules` hands the runner one fresh
+  instance per rule so accumulated state never leaks between runs.
+
+Rules are scoped by :class:`~repro.analysis.walker.SourceFile.scope`
+(library / tests / tools / scripts), not by hard-coded paths, so the
+same rule objects run unchanged over the real tree and over the
+bad-snippet fixtures in ``tests/analysis/fixtures``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Iterable, Iterator, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .walker import Project, SourceFile
+
+__all__ = ["Finding", "Rule", "register", "all_rules", "rule_catalog"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a rule.
+
+    ``path`` is root-relative POSIX form; ``line``/``col`` are 1- and
+    0-based respectively (matching CPython's AST).  ``suppressed`` is
+    stamped by the runner when the finding's line carries a matching
+    ``# repro: noqa[RULE-ID]`` comment — suppressed findings are
+    reported but do not fail the run.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    def format(self) -> str:
+        """``path:line:col RULE-ID message`` (human reporter line)."""
+        mark = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col} {self.rule_id} {self.message}{mark}"
+
+    def as_suppressed(self) -> "Finding":
+        """Copy of this finding with the suppressed flag set."""
+        return replace(self, suppressed=True)
+
+
+class Rule:
+    """Base class for one static check.
+
+    Subclasses set the class attributes and override :meth:`check`
+    (per-file) and/or :meth:`finalize` (after every file was checked).
+    The runner creates a fresh instance per run, so instance attributes
+    are the place for cross-file accumulation.
+    """
+
+    #: Stable identifier, e.g. ``"DET001"`` — used in suppression
+    #: comments, ``--select``/``--ignore`` and reporters.
+    rule_id: str = ""
+    #: Short slug, e.g. ``"global-np-random"``.
+    name: str = ""
+    #: One-line rationale shown by ``--list-rules`` and the docs.
+    rationale: str = ""
+
+    def setup(self, project: "Project") -> None:
+        """Hook called once before any file is checked."""
+
+    def applies_to(self, source: "SourceFile") -> bool:
+        """Whether :meth:`check` should see *source* (default: yes)."""
+        return True
+
+    def check(self, source: "SourceFile") -> Iterable[Finding]:
+        """Yield findings for one parsed source file."""
+        return ()
+
+    def finalize(self, project: "Project") -> Iterable[Finding]:
+        """Yield project-wide findings after the per-file walk."""
+        return ()
+
+    def finding(self, source: "SourceFile", node, message: str) -> Finding:
+        """Finding anchored at an AST *node* of *source*."""
+        return Finding(
+            rule_id=self.rule_id,
+            path=source.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+#: rule_id -> rule class, in registration order.
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding *cls* to the global rule registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules(
+    select: Iterable[str] | None = None, ignore: Iterable[str] | None = None
+) -> list[Rule]:
+    """Fresh instances of every registered rule, optionally filtered.
+
+    ``select`` keeps only the listed ids; ``ignore`` drops the listed
+    ids.  Unknown ids raise ``ValueError`` so typos fail loudly.
+    """
+    known = set(_REGISTRY)
+    for wanted in (select, ignore):
+        unknown = set(wanted or ()) - known
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
+    selected = set(select) if select else known
+    dropped = set(ignore or ())
+    return [cls() for rid, cls in _REGISTRY.items() if rid in selected - dropped]
+
+
+def rule_catalog() -> Iterator[tuple[str, str, str]]:
+    """``(rule_id, name, rationale)`` rows in registration order."""
+    for rid, cls in _REGISTRY.items():
+        yield rid, cls.name, cls.rationale

@@ -1,0 +1,253 @@
+"""DET rule pack — randomness and ordering invariants.
+
+The reproduction's headline guarantee is a bit-identical KS checksum
+across serial, pooled and shared-memory execution at any worker count.
+That only holds if every random draw flows through a stream derived
+from :func:`repro.parallel.seeding.seed_for` (or an explicit integer
+seed), no code path consults process-global RNG state, and no result
+depends on hash-ordering.  These rules make those conventions
+machine-checked for library code (:class:`~repro.analysis.walker.Scope`
+``LIBRARY``); tests and tools are free to compare floats exactly —
+that *is* how bit-identity is asserted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .astutil import call_chain
+from .core import Finding, Rule, register
+from .walker import Scope, SourceFile
+
+__all__ = [
+    "GlobalNumpyRandomRule",
+    "StdlibRandomRule",
+    "NondeterministicSeedRule",
+    "UnorderedIterationRule",
+    "FloatEqualityRule",
+]
+
+#: ``np.random.<attr>`` accesses that construct *seedable* objects and
+#: are therefore allowed; everything else on the module touches or
+#: derives from process-global state.
+_ALLOWED_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "RandomState",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+}
+
+#: Callables that mint RNG state and must receive an explicit seed.
+_RNG_CONSTRUCTORS = {"default_rng", "RandomState", "SeedSequence"}
+
+#: Dotted call chains whose result is wall-clock/OS entropy — never a seed.
+_ENTROPY_SOURCES = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "os.urandom",
+    "os.getpid",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.randbits",
+}
+
+
+class _LibraryRule(Rule):
+    """Base for rules that police shipped library code only."""
+
+    def applies_to(self, source: SourceFile) -> bool:
+        """Library scope with a successfully parsed tree."""
+        return source.scope is Scope.LIBRARY and source.tree is not None
+
+
+@register
+class GlobalNumpyRandomRule(_LibraryRule):
+    """No process-global ``np.random.*`` state in library code."""
+
+    rule_id = "DET001"
+    name = "global-np-random"
+    rationale = (
+        "np.random.seed/rand/... use process-global state; worker count and "
+        "dispatch order would change results. Derive streams with "
+        "seed_for(...) + np.random.default_rng instead."
+    )
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        """Flag calls through ``np.random``/``numpy.random`` globals."""
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = call_chain(node)
+            if chain is None:
+                continue
+            parts = chain.split(".")
+            if (
+                len(parts) >= 3
+                and parts[0] in ("np", "numpy")
+                and parts[1] == "random"
+                and parts[2] not in _ALLOWED_NP_RANDOM
+            ):
+                yield self.finding(
+                    source,
+                    node,
+                    f"call to process-global RNG `{chain}`; derive a "
+                    "Generator via seed_for(...)/default_rng instead",
+                )
+
+
+@register
+class StdlibRandomRule(_LibraryRule):
+    """No stdlib ``random`` module in library code."""
+
+    rule_id = "DET002"
+    name = "stdlib-random"
+    rationale = (
+        "the stdlib random module is global-state, unseeded by default and "
+        "not stream-splittable across workers; all library randomness goes "
+        "through numpy Generators derived from seed_for."
+    )
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        """Flag ``import random`` / ``from random import ...``."""
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            source, node, "stdlib `random` imported in library code"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.finding(
+                        source, node, "stdlib `random` imported in library code"
+                    )
+
+
+@register
+class NondeterministicSeedRule(_LibraryRule):
+    """RNG constructors must receive an explicit, non-entropy seed."""
+
+    rule_id = "DET003"
+    name = "nondeterministic-seed"
+    rationale = (
+        "default_rng()/SeedSequence() with no arguments pull OS entropy, and "
+        "time-derived seeds differ per run; both break replayability of the "
+        "KS checksum."
+    )
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        """Flag zero-argument or wall-clock-seeded RNG construction."""
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = call_chain(node)
+            if chain is None or chain.split(".")[-1] not in _RNG_CONSTRUCTORS:
+                continue
+            ctor = chain.split(".")[-1]
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    source,
+                    node,
+                    f"`{ctor}()` with no seed draws OS entropy; pass a "
+                    "seed_for(...)-derived SeedSequence or integer seed",
+                )
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Call):
+                        sub_chain = call_chain(sub)
+                        if sub_chain in _ENTROPY_SOURCES:
+                            yield self.finding(
+                                source,
+                                sub,
+                                f"`{ctor}` seeded from `{sub_chain}` is "
+                                "different on every run",
+                            )
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        chain = call_chain(node)
+        return chain in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+@register
+class UnorderedIterationRule(_LibraryRule):
+    """No direct iteration over set expressions in library code."""
+
+    rule_id = "DET004"
+    name = "unordered-iteration"
+    rationale = (
+        "set iteration order depends on PYTHONHASHSEED for str keys, so "
+        "feeding it into fold construction or feature assembly makes results "
+        "process-dependent; wrap the expression in sorted(...)."
+    )
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        """Flag ``for ... in <set-expr>`` and comprehension equivalents."""
+        for node in ast.walk(source.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_expr(it):
+                    yield self.finding(
+                        source,
+                        it,
+                        "iteration over a set expression is hash-ordered; "
+                        "wrap it in sorted(...)",
+                    )
+
+
+@register
+class FloatEqualityRule(_LibraryRule):
+    """No ``==``/``!=`` against float literals in library code."""
+
+    rule_id = "DET005"
+    name = "float-equality"
+    rationale = (
+        "exact float comparison hides representation drift that the "
+        "bit-identity tests are designed to catch at the boundary; use "
+        "tolerances (np.isclose) — or suppress where an exact-zero "
+        "degenerate-scale guard is intended."
+    )
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        """Flag Compare nodes mixing Eq/NotEq with a float constant."""
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(
+                isinstance(c, ast.Constant) and isinstance(c.value, float)
+                for c in operands
+            ):
+                yield self.finding(
+                    source,
+                    node,
+                    "float literal compared with ==/!=; use a tolerance or "
+                    "suppress an intentional exact-zero guard",
+                )

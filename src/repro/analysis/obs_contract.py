@@ -1,0 +1,207 @@
+"""OBS rule pack — static metrics/trace contract enforcement.
+
+``docs/OBSERVABILITY.md`` promises to list **every** counter, gauge,
+histogram and span name the library emits.  The runtime half of that
+contract lives in ``tests/obs/test_contract.py``; this pack is the
+static half, and it checks *both directions*:
+
+* **OBS001** — every literal name passed to
+  ``obs.counter/gauge/observe/span`` in library code appears in the
+  contract document;
+* **OBS002** — every name documented in the contract's Counters /
+  Gauges / Histograms / Spans tables is emitted somewhere in library
+  code (no dead contract entries);
+* **OBS003** — emission sites must use string *literals* for names,
+  because a computed name cannot be cross-checked statically (and the
+  contract test's scan would silently miss it).
+
+The ``repro.obs`` package itself is exempt — it is the facade, not an
+emission site.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from .astutil import dotted_name
+from .core import Finding, Rule, register
+from .walker import Project, Scope, SourceFile
+
+__all__ = [
+    "CONTRACT_DOC",
+    "documented_names",
+    "UndocumentedMetricRule",
+    "DeadContractEntryRule",
+    "DynamicMetricNameRule",
+]
+
+#: Root-relative path of the contract document.
+CONTRACT_DOC = "docs/OBSERVABILITY.md"
+
+#: Emission helpers on the ``obs`` facade whose first argument is a name.
+_EMIT_ATTRS = {"counter", "gauge", "observe", "span"}
+
+#: Markdown sections whose tables enumerate contract names.
+_NAME_SECTIONS = ("## Counters", "## Gauges", "## Histograms", "## Spans")
+
+_BACKTICKED = re.compile(r"`([^`]+)`")
+
+
+def documented_names(doc_text: str) -> dict[str, int]:
+    """Contract names -> line number, parsed from the doc's name tables.
+
+    Only the *first cell* of table rows inside the Counters / Gauges /
+    Histograms / Spans sections counts, so prose mentions of helper
+    functions or file paths elsewhere in the document never register as
+    contract entries.  A cell may list several backticked names
+    (``hits`` / ``misses`` pairs share a row).
+    """
+    names: dict[str, int] = {}
+    section_active = False
+    for lineno, line in enumerate(doc_text.splitlines(), start=1):
+        if line.startswith("## "):
+            section_active = line.strip() in _NAME_SECTIONS
+            continue
+        if not section_active or not line.lstrip().startswith("|"):
+            continue
+        cells = [c.strip() for c in line.strip().strip("|").split("|")]
+        if not cells or set(cells[0]) <= {"-", " ", ":"}:
+            continue  # separator row
+        first = cells[0]
+        if first in ("Name", ""):
+            continue  # header row
+        for name in _BACKTICKED.findall(first):
+            names.setdefault(name, lineno)
+    return names
+
+
+def _emission_sites(source: SourceFile) -> Iterable[tuple[ast.Call, str | None]]:
+    """``(call, literal_name_or_None)`` for every obs emission in *source*."""
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            continue
+        if node.func.attr not in _EMIT_ATTRS:
+            continue
+        chain = dotted_name(node.func.value)
+        if chain is None or chain.split(".")[-1] != "obs":
+            continue
+        arg = node.args[0] if node.args else None
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            yield node, arg.value
+        else:
+            yield node, None
+
+
+class _ObsRule(Rule):
+    """Base: library scope, excluding the obs facade package."""
+
+    def applies_to(self, source: SourceFile) -> bool:
+        """Parsed library files outside ``repro/obs``."""
+        return (
+            source.scope is Scope.LIBRARY
+            and source.tree is not None
+            and "repro/obs/" not in source.relpath
+        )
+
+
+@register
+class UndocumentedMetricRule(_ObsRule):
+    """Every emitted metric/span literal is documented in the contract."""
+
+    rule_id = "OBS001"
+    name = "undocumented-metric"
+    rationale = (
+        "docs/OBSERVABILITY.md is the stability contract for every emitted "
+        "name; an undocumented emission is an unversioned API change."
+    )
+
+    def __init__(self) -> None:
+        self._doc_names: dict[str, int] = {}
+
+    def setup(self, project: Project) -> None:
+        """Load the contract tables once per run."""
+        text = project.read_doc(CONTRACT_DOC)
+        self._doc_names = documented_names(text) if text else {}
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        """Flag emission literals absent from the contract tables."""
+        for node, name in _emission_sites(source):
+            if name is not None and name not in self._doc_names:
+                yield self.finding(
+                    source,
+                    node,
+                    f"emitted name `{name}` is not documented in {CONTRACT_DOC}",
+                )
+
+
+@register
+class DeadContractEntryRule(_ObsRule):
+    """Every documented contract name is emitted somewhere in the code."""
+
+    rule_id = "OBS002"
+    name = "dead-contract-entry"
+    rationale = (
+        "a documented-but-never-emitted name means the contract drifted from "
+        "the code — readers instrument dashboards against metrics that never "
+        "arrive."
+    )
+
+    def __init__(self) -> None:
+        self._emitted: set[str] = set()
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        """Accumulate emitted literals (no per-file findings)."""
+        for _node, name in _emission_sites(source):
+            if name is not None:
+                self._emitted.add(name)
+        return ()
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        """Flag contract entries that no library file emits.
+
+        Skipped on partial runs — with only a subtree walked, absence
+        of an emission proves nothing.
+        """
+        if project.partial:
+            return
+        text = project.read_doc(CONTRACT_DOC)
+        if text is None:
+            return
+        for name, lineno in sorted(documented_names(text).items()):
+            if name not in self._emitted:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=CONTRACT_DOC,
+                    line=lineno,
+                    col=0,
+                    message=(
+                        f"documented name `{name}` is never emitted by "
+                        "library code (dead contract entry)"
+                    ),
+                )
+
+
+@register
+class DynamicMetricNameRule(_ObsRule):
+    """Emission sites must name their metric/span with a string literal."""
+
+    rule_id = "OBS003"
+    name = "dynamic-metric-name"
+    rationale = (
+        "computed names defeat both this static cross-check and the contract "
+        "test's source scan; the set of emitted names must be closed at "
+        "review time."
+    )
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        """Flag obs emissions whose first argument is not a str literal."""
+        for node, name in _emission_sites(source):
+            if name is None:
+                yield self.finding(
+                    source,
+                    node,
+                    "obs emission with a computed name; use a string literal "
+                    "so the contract stays statically checkable",
+                )

@@ -1,0 +1,65 @@
+"""Human and JSON renderings of an :class:`AnalysisReport`.
+
+The JSON form is versioned and machine-stable (sorted keys, no
+timestamps or absolute paths), so ``results/ANALYSIS_baseline.json`` —
+a committed snapshot of the per-rule finding counts — diffs cleanly
+when future PRs change the rule pack or introduce findings.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .core import rule_catalog
+from .runner import AnalysisReport
+
+__all__ = ["REPORT_SCHEMA", "REPORT_VERSION", "render_human", "render_json"]
+
+#: Schema marker embedded in every JSON report.
+REPORT_SCHEMA = "repro.analysis.report"
+#: Bumped on any backwards-incompatible field change.
+REPORT_VERSION = 1
+
+
+def render_human(report: AnalysisReport, *, show_suppressed: bool = False) -> str:
+    """Terminal rendering: one line per finding plus a summary."""
+    lines = []
+    shown = report.findings if show_suppressed else report.unsuppressed
+    for finding in shown:
+        lines.append(finding.format())
+    n_sup = len(report.suppressed)
+    summary = (
+        f"[repro.analysis] {len(report.files)} files, "
+        f"{len(report.rules_run)} rules, "
+        f"{len(report.unsuppressed)} finding(s)"
+        + (f", {n_sup} suppressed" if n_sup else "")
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """Stable JSON rendering (the baseline-snapshot format)."""
+    names = {rid: name for rid, name, _rat in rule_catalog()}
+    payload = {
+        "schema": REPORT_SCHEMA,
+        "version": REPORT_VERSION,
+        "n_files": len(report.files),
+        "rules": {
+            rid: {"name": names.get(rid, ""), **counts}
+            for rid, counts in sorted(report.counts_by_rule().items())
+        },
+        "findings": [
+            {
+                "rule": f.rule_id,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "suppressed": f.suppressed,
+            }
+            for f in report.findings
+        ],
+        "exit_code": report.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,137 @@
+"""Analysis driver: walk, check, suppress, aggregate.
+
+:func:`run_analysis` is the single entry point used by the CLI, the
+tier-1 repo-clean gate and the framework's own tests.  It builds the
+:class:`~repro.analysis.walker.Project`, runs every registered rule
+over it, applies ``# repro: noqa[RULE-ID]`` suppressions, and returns
+an :class:`AnalysisReport` whose :attr:`~AnalysisReport.exit_code` is
+non-zero iff any *unsuppressed* finding remains.
+
+Files that fail to parse surface as ``GEN001`` findings rather than
+crashing the run, so one bad file cannot hide the rest of the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .core import Finding, Rule, all_rules
+from .walker import Project, build_project
+
+__all__ = ["AnalysisReport", "run_analysis", "repo_root", "PARSE_ERROR_ID"]
+
+#: Pseudo rule id for files the walker could not parse.
+PARSE_ERROR_ID = "GEN001"
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    root: Path
+    files: list[str] = field(default_factory=list)
+    rules_run: list[str] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        """Findings that count toward the exit code."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        """Findings silenced by a ``# repro: noqa[...]`` comment."""
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean (ignoring suppressed findings), else 1."""
+        return 1 if self.unsuppressed else 0
+
+    def counts_by_rule(self) -> dict[str, dict[str, int]]:
+        """``rule_id -> {"findings": n, "suppressed": m}`` (all rules run)."""
+        counts = {rid: {"findings": 0, "suppressed": 0} for rid in self.rules_run}
+        for finding in self.findings:
+            row = counts.setdefault(
+                finding.rule_id, {"findings": 0, "suppressed": 0}
+            )
+            if finding.suppressed:
+                row["suppressed"] += 1
+            else:
+                row["findings"] += 1
+        return counts
+
+
+def repo_root() -> Path:
+    """Repository root inferred from this installed source tree."""
+    # src/repro/analysis/runner.py -> repo root is four levels up.
+    return Path(__file__).resolve().parents[3]
+
+
+def _apply_suppression(finding: Finding, project: Project) -> Finding:
+    for source in project.sources:
+        if source.relpath == finding.path:
+            if finding.rule_id in source.suppressions.get(finding.line, ()):
+                return finding.as_suppressed()
+            break
+    return finding
+
+
+def _sort_key(finding: Finding):
+    return (finding.path, finding.line, finding.col, finding.rule_id)
+
+
+def run_analysis(
+    paths: Sequence[Path | str] | None = None,
+    *,
+    root: Path | str | None = None,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> AnalysisReport:
+    """Run the rule set over *paths* and return the report.
+
+    ``root`` anchors relative paths and scope classification (default:
+    the repository containing this package).  ``paths`` defaults to the
+    standard ``src``/``tools``/``tests`` roots below ``root``.
+    ``select``/``ignore`` filter rules by id; ``rules`` injects explicit
+    instances (used by the framework's own tests).
+    """
+    root_path = Path(root) if root is not None else repo_root()
+    path_list = [Path(p) for p in paths] if paths else None
+    project = build_project(root_path, path_list)
+    active = list(rules) if rules is not None else all_rules(select, ignore)
+
+    findings: list[Finding] = []
+    for source in project.sources:
+        if source.parse_error is not None:
+            findings.append(
+                Finding(
+                    rule_id=PARSE_ERROR_ID,
+                    path=source.relpath,
+                    line=1,
+                    col=0,
+                    message=f"file does not parse: {source.parse_error}",
+                )
+            )
+    for rule in active:
+        rule.setup(project)
+    for rule in active:
+        for source in project.sources:
+            if source.tree is None or not rule.applies_to(source):
+                continue
+            findings.extend(rule.check(source))
+    for rule in active:
+        findings.extend(rule.finalize(project))
+
+    findings = sorted(
+        (_apply_suppression(f, project) for f in findings), key=_sort_key
+    )
+    return AnalysisReport(
+        root=root_path,
+        files=[s.relpath for s in project.sources],
+        rules_run=[r.rule_id for r in active],
+        findings=findings,
+    )

@@ -1,0 +1,34 @@
+"""Per-line suppression comments: ``# repro: noqa[RULE-ID]``.
+
+A finding is suppressed when the physical line it is anchored to ends
+with a marker naming its rule id (several ids may be listed, separated
+by commas).  The marker is deliberately namespaced under ``repro:`` so
+it can never collide with flake8/ruff ``# noqa`` handling, and
+deliberately *requires* explicit rule ids — there is no blanket
+``noqa`` that silences every rule, because a suppression should record
+exactly which vetted false positive it covers.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["parse_suppressions", "SUPPRESSION_RE"]
+
+#: Matches ``# repro: noqa[DET005]`` and ``# repro: noqa[DET005, OBS001]``.
+SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*noqa\[([A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*)\]"
+)
+
+
+def parse_suppressions(text: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line number -> rule ids suppressed on that line."""
+    out: dict[int, frozenset[str]] = {}
+    for i, line in enumerate(text.splitlines(), start=1):
+        if "repro:" not in line:
+            continue
+        match = SUPPRESSION_RE.search(line)
+        if match:
+            ids = frozenset(part.strip() for part in match.group(1).split(","))
+            out[i] = ids
+    return out

@@ -1,0 +1,165 @@
+"""Source discovery and parsing for the analysis run.
+
+:func:`build_project` walks the requested roots, parses every ``*.py``
+file once into an AST (annotating parent links, which several rules
+need to reason about context), extracts the per-line suppression table,
+and classifies each file into a :class:`Scope`:
+
+* ``LIBRARY`` — shipped code (``src/**`` in this repo; also any file
+  whose top-level directory is none of the known auxiliary trees, which
+  is what makes the fixture corpus under ``tests/analysis/fixtures``
+  behave like library code when analyzed with its own root);
+* ``TESTS`` / ``TOOLS`` / ``SCRIPTS`` — ``tests/``, ``tools/`` and
+  ``benchmarks/``/``examples/`` respectively.
+
+Determinism rules only police ``LIBRARY`` files (tests may compare
+floats exactly on purpose — that *is* the bit-identical assertion),
+while concurrency rules run everywhere a pool can be misused.
+
+Directories named ``fixtures`` are excluded from the walk by default:
+they hold intentionally-bad snippets that the framework's own tests
+feed to the rules directly.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .suppressions import parse_suppressions
+
+__all__ = ["Scope", "SourceFile", "Project", "build_project", "DEFAULT_ROOT_NAMES"]
+
+#: Root subdirectories scanned when no explicit paths are given.
+DEFAULT_ROOT_NAMES = ("src", "tools", "tests")
+
+#: Directory names never descended into.
+_EXCLUDED_DIRS = {"__pycache__", "fixtures", ".git", ".venv", "node_modules"}
+
+
+class Scope(enum.Enum):
+    """Coarse classification of a source file by its top-level tree."""
+
+    LIBRARY = "library"
+    TESTS = "tests"
+    TOOLS = "tools"
+    SCRIPTS = "scripts"
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python file plus everything rules need to check it."""
+
+    path: Path
+    relpath: str
+    scope: Scope
+    text: str
+    tree: ast.Module | None
+    suppressions: dict[int, frozenset[str]]
+    #: Syntax error message when ``tree`` is None.
+    parse_error: str | None = None
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """Parent AST node (annotated at parse time), or ``None``."""
+        return getattr(node, "_repro_parent", None)
+
+
+@dataclass
+class Project:
+    """The full corpus of one analysis run."""
+
+    root: Path
+    sources: list[SourceFile] = field(default_factory=list)
+    #: True when explicit paths restricted the walk. Cross-file
+    #: both-direction rules (dead contract entries, stale allowlists)
+    #: are only meaningful over a complete corpus and skip partial runs.
+    partial: bool = False
+
+    def read_doc(self, relpath: str) -> str | None:
+        """Text of a non-Python project file (e.g. the obs contract)."""
+        path = self.root / relpath
+        try:
+            return path.read_text()
+        except OSError:
+            return None
+
+
+def _classify(relpath: str) -> Scope:
+    top = relpath.split("/", 1)[0]
+    if top == "tests":
+        return Scope.TESTS
+    if top == "tools":
+        return Scope.TOOLS
+    if top in ("benchmarks", "examples"):
+        return Scope.SCRIPTS
+    return Scope.LIBRARY
+
+
+def _annotate_parents(tree: ast.Module) -> None:
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child._repro_parent = parent  # type: ignore[attr-defined]
+
+
+def parse_source(path: Path, root: Path) -> SourceFile:
+    """Parse one file into a :class:`SourceFile` (never raises on syntax)."""
+    text = path.read_text()
+    try:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    tree: ast.Module | None
+    error: str | None = None
+    try:
+        tree = ast.parse(text, filename=str(path))
+        _annotate_parents(tree)
+    except SyntaxError as exc:
+        tree, error = None, f"{exc.msg} (line {exc.lineno})"
+    return SourceFile(
+        path=path,
+        relpath=rel,
+        scope=_classify(rel),
+        text=text,
+        tree=tree,
+        suppressions=parse_suppressions(text),
+        parse_error=error,
+    )
+
+
+def _iter_py_files(paths: list[Path]):
+    for base in paths:
+        if base.is_file():
+            if base.suffix == ".py":
+                yield base
+            continue
+        for path in sorted(base.rglob("*.py")):
+            # Exclusions apply below the walk base only, so a corpus
+            # that itself lives in a `fixtures` directory still scans.
+            if not _EXCLUDED_DIRS.intersection(path.relative_to(base).parts):
+                yield path
+
+
+def build_project(root: Path, paths: list[Path] | None = None) -> Project:
+    """Walk *paths* (default: the standard roots under *root*) and parse.
+
+    When none of the standard root names exist under *root* — e.g. the
+    fixture corpus — *root* itself is walked, so
+    ``python -m repro.analysis --root <dir>`` analyzes any directory.
+    """
+    root = root.resolve()
+    partial = paths is not None
+    if paths is None:
+        paths = [root / name for name in DEFAULT_ROOT_NAMES if (root / name).is_dir()]
+        if not paths:
+            paths = [root]
+    seen: set[Path] = set()
+    project = Project(root=root, partial=partial)
+    for path in _iter_py_files(paths):
+        resolved = path.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        project.sources.append(parse_source(path, root))
+    return project

@@ -136,7 +136,9 @@ class AdaptiveStoppingRule:
             rng=self._rng,
         )
         center = float(self.statistic(x[None, :])[0]) if _vectorized(self.statistic, x) else float(self.statistic(x))
-        denom = abs(center) if center != 0.0 else 1.0
+        # Exact-zero guard (not a tolerance check): any nonzero center,
+        # however small, is a valid relative-precision denominator.
+        denom = abs(center) if center != 0.0 else 1.0  # repro: noqa[DET005]
         rel = (hi - lo) / denom
         stop = rel <= self.target_precision or x.size >= self.max_samples
         return StoppingDecision(x.size, lo, hi, float(rel), stop)

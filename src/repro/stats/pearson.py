@@ -376,7 +376,9 @@ def pearson_system(
         mean, std, skew, kurt = nearest_feasible(mean, std, skew, kurt)
     if std < 0.0:
         raise MomentError(f"std must be non-negative, got {std}")
-    if std == 0.0:
+    # Exact-zero guard: only a literally degenerate (point-mass)
+    # distribution takes the branch; near-zero std must stay continuous.
+    if std == 0.0:  # repro: noqa[DET005]
         return PearsonDistribution(mean, 0.0, skew, kurt, 0, None, mean, 0.0)
     ptype = classify_pearson(skew, kurt)
 

@@ -1,0 +1,48 @@
+"""Known-good concurrency/data-plane idioms (negative cases)."""
+
+import numpy as np
+
+from repro.parallel.pool import parallel_map
+from repro.parallel.shm import SharedArrayStore, attach
+from repro.parallel.worker_pool import WorkerPool
+
+
+def _module_level_task(item):
+    """Picklable: module-level def."""
+    return item + 1
+
+
+def good_dispatch(items):
+    """Module-level callables cross process boundaries."""
+    with WorkerPool(2) as pool:
+        return pool.map(_module_level_task, items)
+
+
+def good_transient_dispatch(items):
+    """Same through the transient-pool convenience wrapper."""
+    return parallel_map(_module_level_task, items)
+
+
+def scoped_store(arr):
+    """Context-managed store always unlinks."""
+    with SharedArrayStore() as store:
+        return store.publish(arr).nbytes
+
+
+class PoolOwner:
+    """Self-attribute stores are owned by the object's close()."""
+
+    def __init__(self):
+        self._store = SharedArrayStore()
+
+    def close(self):
+        """Unlink owned segments."""
+        self._store.close()
+
+
+def read_shared_view(ref):
+    """Reading (and rebinding) an attached view is fine."""
+    view = attach(ref)
+    total = float(np.sum(view[1:]))
+    view = None  # rebinding is not a mutation
+    return total

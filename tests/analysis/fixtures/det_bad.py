@@ -1,0 +1,35 @@
+"""Known-bad determinism idioms (one per DET rule, positive cases)."""
+
+import random  # DET002
+import time
+
+import numpy as np
+
+
+def global_state_draw():
+    """DET001: process-global numpy RNG."""
+    np.random.seed(1234)  # DET001
+    return np.random.rand(3)  # DET001
+
+
+def unseeded_generator():
+    """DET003: OS-entropy generator."""
+    return np.random.default_rng()  # DET003
+
+
+def clock_seeded_generator():
+    """DET003: wall-clock seed differs every run."""
+    return np.random.default_rng(int(time.time()))  # DET003
+
+
+def hash_ordered_fold_names(names):
+    """DET004: set iteration order depends on PYTHONHASHSEED."""
+    out = []
+    for name in set(names):  # DET004
+        out.append(name)
+    return [n for n in set(names) | {"extra"}]  # DET004
+
+
+def approximate_match(x):
+    """DET005: exact float comparison."""
+    return x == 0.3  # DET005

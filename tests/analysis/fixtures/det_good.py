@@ -1,0 +1,27 @@
+"""Known-good determinism idioms (negative cases — zero findings)."""
+
+import math
+
+import numpy as np
+
+from repro.parallel.seeding import seed_for
+
+
+def seeded_generator(root_seed, name):
+    """seed_for-derived stream: the approved construction."""
+    return np.random.default_rng(seed_for(root_seed, "fixture", name))
+
+
+def integer_seeded():
+    """Explicit integer seed is deterministic."""
+    return np.random.default_rng(2025)
+
+
+def ordered_fold_names(names):
+    """Sorted set iteration is deterministic."""
+    return [n for n in sorted(set(names))]
+
+
+def tolerant_match(x):
+    """Tolerance-based comparison, and integer equality is fine."""
+    return math.isclose(x, 0.3) or x == 0

@@ -1,0 +1,13 @@
+import numpy as np  # DOC001: module docstring missing
+
+
+def undocumented_public(x):  # DOC001
+    return np.asarray(x)
+
+
+class UndocumentedClass:  # DOC001
+    def undocumented_method(self):  # DOC001
+        return None
+
+    def _private_ok(self):
+        return None

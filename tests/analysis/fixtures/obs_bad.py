@@ -1,0 +1,16 @@
+"""Known-bad observability-contract idioms (positive cases)."""
+
+from repro import obs
+
+
+def emit_undocumented():
+    """OBS001: name missing from the contract tables."""
+    obs.counter("fixture.totally.undocumented")  # OBS001
+    with obs.span("fixture.undocumented.span"):  # OBS001
+        pass
+
+
+def emit_computed(metric_name):
+    """OBS003: computed names defeat the static cross-check."""
+    obs.gauge(metric_name, 1.0)  # OBS003
+    obs.counter("fixture." + "joined")  # OBS003

@@ -1,0 +1,15 @@
+"""Known-good observability idioms (negative cases).
+
+``fixture.documented.counter`` and ``fixture.documented.span`` are
+listed in this corpus's own ``docs/OBSERVABILITY.md``, so emitting them
+satisfies the contract in the code->doc direction.
+"""
+
+from repro import obs
+
+
+def emit_documented():
+    """Literal, documented names."""
+    obs.counter("fixture.documented.counter")
+    with obs.span("fixture.documented.span"):
+        obs.observe("fixture.documented.histogram", 0.5)

@@ -1,0 +1,22 @@
+"""Vetted false positives silenced with ``# repro: noqa[RULE-ID]``."""
+
+import numpy as np
+
+
+def exact_zero_guard(std):
+    """Suppressed single rule id."""
+    if std == 0.0:  # repro: noqa[DET005]
+        return 0.0
+    return 1.0 / std
+
+
+def multi_suppression(values):
+    """Several ids in one marker."""
+    return [
+        v for v in set(values) if v == 0.5  # repro: noqa[DET004, DET005]
+    ]
+
+
+def unrelated_marker():
+    """A marker naming a different rule does NOT silence this line."""
+    return np.random.default_rng()  # repro: noqa[DET005]

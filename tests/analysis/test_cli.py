@@ -1,0 +1,78 @@
+"""CLI behavior of ``python -m repro.analysis`` (subprocess-level)."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _run(*args: str):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=ROOT,
+    )
+
+
+def test_repo_run_exits_zero():
+    proc = _run()
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 finding(s)" in proc.stdout
+
+
+def test_bad_snippet_corpus_exits_nonzero():
+    proc = _run("--root", str(FIXTURES))
+    assert proc.returncode == 1
+    assert "DET001" in proc.stdout
+    assert "CONC003" in proc.stdout
+    assert "OBS002" in proc.stdout
+
+
+def test_json_format_and_output_file(tmp_path):
+    out = tmp_path / "report.json"
+    proc = _run("--root", str(FIXTURES), "--format", "json", "-o", str(out))
+    assert proc.returncode == 1
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == "repro.analysis.report"
+    assert payload["rules"]["CONC001"]["findings"] == 2
+
+
+def test_select_narrows_the_run():
+    proc = _run("--root", str(FIXTURES), "--select", "DOC001")
+    assert proc.returncode == 1
+    assert "DOC001" in proc.stdout
+    assert "DET001" not in proc.stdout
+
+
+def test_unknown_rule_id_is_a_usage_error():
+    proc = _run("--select", "NOPE999")
+    assert proc.returncode == 2
+    assert "unknown rule" in proc.stderr
+
+
+def test_missing_path_is_a_usage_error():
+    proc = _run("definitely/not/here")
+    assert proc.returncode == 2
+
+
+def test_list_rules():
+    proc = _run("--list-rules")
+    assert proc.returncode == 0
+    for rid in ("DET001", "CONC004", "OBS002", "DOC001"):
+        assert rid in proc.stdout
+
+
+def test_explicit_subtree_paths():
+    proc = _run("src/repro/stats", "--show-suppressed")
+    assert proc.returncode == 0
+    assert "DET005" in proc.stdout  # the vetted exact-zero guards, suppressed

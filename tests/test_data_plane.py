@@ -62,7 +62,7 @@ class TestSharedArrayStore:
     def test_close_unlinks_segments(self):
         from multiprocessing import shared_memory
 
-        store = SharedArrayStore()
+        store = SharedArrayStore()  # repro: noqa[CONC002] — close() is the subject under test
         ref = store.publish(np.zeros(16))
         store.close()
         store.close()  # idempotent
@@ -90,7 +90,7 @@ class TestSharedArrayStore:
         assert WorkerPool(2).shm is None
 
     def test_closed_store_refuses_publish(self):
-        store = SharedArrayStore()
+        store = SharedArrayStore()  # repro: noqa[CONC002] — closed-store behavior is the subject
         store.close()
         with pytest.raises(RuntimeError):
             store.publish(np.zeros(4))

@@ -30,7 +30,9 @@ class TestParallelMap:
 
     def test_closure_falls_back_to_serial(self):
         offset = 7
-        out = parallel_map(lambda x: x + offset, range(5), n_workers=4)
+        # The serial fallback for unpicklable callables is exactly what
+        # this test exercises.
+        out = parallel_map(lambda x: x + offset, range(5), n_workers=4)  # repro: noqa[CONC001]
         assert out == [7, 8, 9, 10, 11]
 
     def test_default_workers_positive(self):

@@ -1,99 +1,37 @@
 #!/usr/bin/env python3
-"""Docstring-coverage gate for the public API of ``src/repro``.
+"""Deprecated shim: docstring gate now lives in ``repro.analysis``.
 
-Walks every module under ``src/repro`` with :mod:`ast` and requires a
-docstring on:
+The docstring-coverage check migrated to the ``DOC*`` rule pack of the
+static-analysis framework (:mod:`repro.analysis.docstrings`), which the
+tier-1 suite runs via ``tests/analysis/test_repo_clean.py`` and the
+``python -m repro.analysis`` CLI.  This module re-exports the original
+API (:data:`ALLOWLIST`, :func:`iter_gaps`, :func:`check`, :func:`main`)
+so existing invocations — ``python tools/check_docs.py`` and the
+``tests/test_docs_coverage.py`` wrapper — keep working unchanged.
 
-* every module;
-* every public module-level function and class (name not starting with
-  ``_``);
-* every public method of a public class (dunders count as private).
-
-Pre-existing gaps live in :data:`ALLOWLIST`; the gate fails only on
-*new* undocumented definitions, so coverage can only improve.  Entries
-are ``"<path relative to src>:<qualname>"``.  When you document an
-allowlisted definition, delete its entry — the tool lists stale entries
-so the allowlist shrinks over time.
-
-Run directly (``python tools/check_docs.py``; exit 1 on new gaps) or via
-the tier-1 suite (``tests/test_docs_coverage.py``).
+Prefer ``python -m repro.analysis --select DOC001,DOC002`` going
+forward; this shim will be removed once nothing calls it.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 SRC = ROOT / "src"
 
-#: Known documentation gaps at the time the gate was introduced.
-#: Do not add entries — document the definition instead.
-ALLOWLIST: frozenset[str] = frozenset(
-    {
-        "repro/core/features.py:FeatureConfig.n_moments",
-        "repro/core/quantile_representation.py:QuantileRepresentation.encode",
-        "repro/core/quantile_representation.py:QuantileRepresentation.encoding_key",
-        "repro/core/quantile_representation.py:QuantileRepresentation.n_dims",
-        "repro/core/quantile_representation.py:QuantileRepresentation.reconstruct",
-        "repro/core/representations.py:HistogramRepresentation.encode",
-        "repro/core/representations.py:HistogramRepresentation.encoding_key",
-        "repro/core/representations.py:HistogramRepresentation.n_dims",
-        "repro/core/representations.py:HistogramRepresentation.reconstruct",
-        "repro/core/representations.py:PearsonRndRepresentation.reconstruct",
-        "repro/core/representations.py:PyMaxEntRepresentation.reconstruct",
-        "repro/ml/boosting.py:GradientBoostingRegressor.fit",
-        "repro/ml/forest.py:RandomForestRegressor.fit",
-        "repro/ml/knn.py:KNNRegressor.fit",
-        "repro/ml/model_selection.py:GroupKFold.get_n_splits",
-        "repro/ml/model_selection.py:GroupKFold.split",
-        "repro/ml/model_selection.py:KFold.get_n_splits",
-        "repro/ml/model_selection.py:KFold.split",
-        "repro/ml/model_selection.py:LeaveOneGroupOut.get_n_splits",
-        "repro/ml/model_selection.py:LeaveOneGroupOut.split",
-        "repro/ml/scaling.py:RobustScaler.fit",
-        "repro/ml/scaling.py:StandardScaler.fit",
-        "repro/simbench/variability.py:RunDraws.n_runs",
-        "repro/stats/empirical.py:ECDF.from_samples",
-    }
-)
+if str(SRC) not in sys.path:  # direct `python tools/check_docs.py` invocation
+    sys.path.insert(0, str(SRC))
 
+from repro.analysis.docstrings import ALLOWLIST, check as _check, iter_gaps  # noqa: E402
 
-def _has_docstring(node) -> bool:
-    return ast.get_docstring(node) is not None
-
-
-def _public(name: str) -> bool:
-    return not name.startswith("_")
-
-
-def iter_gaps(src_root: Path = SRC):
-    """Yield ``"<relpath>:<qualname>"`` for each undocumented definition."""
-    for path in sorted(src_root.rglob("*.py")):
-        rel = path.relative_to(src_root)
-        tree = ast.parse(path.read_text(), filename=str(path))
-        if not _has_docstring(tree):
-            yield f"{rel}:<module>"
-        for node in tree.body:
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                if _public(node.name) and not _has_docstring(node):
-                    yield f"{rel}:{node.name}"
-            elif isinstance(node, ast.ClassDef) and _public(node.name):
-                if not _has_docstring(node):
-                    yield f"{rel}:{node.name}"
-                for item in node.body:
-                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                        if _public(item.name) and not _has_docstring(item):
-                            yield f"{rel}:{node.name}.{item.name}"
+__all__ = ["ALLOWLIST", "iter_gaps", "check", "main", "ROOT", "SRC"]
 
 
 def check(src_root: Path = SRC) -> tuple[list[str], list[str]]:
     """(new gaps, stale allowlist entries) for *src_root*."""
-    gaps = set(iter_gaps(src_root))
-    missing = sorted(gaps - ALLOWLIST)
-    stale = sorted(ALLOWLIST - gaps)
-    return missing, stale
+    return _check(src_root)
 
 
 def main() -> int:

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# One-shot static gate: ruff + mypy + the repo's own invariant linter.
+#
+#   tools/check_static.sh            # run everything available
+#   STRICT_TOOLS=1 tools/check_static.sh   # fail if ruff/mypy are missing
+#
+# ruff and mypy are optional dependencies (configured in pyproject.toml
+# but not baked into every environment); when absent they are skipped
+# with a notice unless STRICT_TOOLS=1.  `python -m repro.analysis` — the
+# determinism/concurrency/obs-contract/docstring rule packs — is always
+# required and always runs.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+export PYTHONPATH="$ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+PYTHON="${PYTHON:-python}"
+STRICT_TOOLS="${STRICT_TOOLS:-0}"
+status=0
+
+run_optional() {
+    local label="$1"; shift
+    if "$PYTHON" -m "$1" --version >/dev/null 2>&1; then
+        echo "== $label"
+        if ! "$PYTHON" -m "$@"; then
+            status=1
+        fi
+    elif [ "$STRICT_TOOLS" = "1" ]; then
+        echo "== $label: NOT INSTALLED (STRICT_TOOLS=1)" >&2
+        status=1
+    else
+        echo "== $label: not installed, skipped"
+    fi
+}
+
+run_optional "ruff" ruff check .
+run_optional "mypy" mypy
+
+echo "== repro.analysis"
+if ! "$PYTHON" -m repro.analysis "$@"; then
+    status=1
+fi
+
+exit $status
