@@ -7,6 +7,7 @@ lose shape, too many make targets noisy.
 
 import numpy as np
 
+from repro.core.config import EvalConfig
 from repro.core.evaluation import evaluate_few_runs, summarize_ks
 from repro.core.representations import HistogramRepresentation
 from repro.data.table import ColumnTable
@@ -28,11 +29,13 @@ def test_ablation_histogram_bins(benchmark):
             rep = HistogramRepresentation(HistogramGrid(0.85, 1.45, bins))
             table = evaluate_few_runs(
                 campaigns,
-                representation=rep,
-                model="knn",
-                n_probe_runs=config.n_probe_runs,
-                n_replicas=config.n_replicas_uc1,
-                seed=config.eval_seed,
+                config=EvalConfig(
+                    representation=rep,
+                    model="knn",
+                    n_probe_runs=config.n_probe_runs,
+                    n_replicas=config.n_replicas_uc1,
+                    seed=config.eval_seed,
+                ),
             )
             rows.append({"bins": bins, "mean_ks": summarize_ks(table).mean})
         return ColumnTable.from_rows(rows)

@@ -8,6 +8,7 @@ full four-moment features.
 
 import numpy as np
 
+from repro.core.config import EvalConfig
 from repro.core.evaluation import evaluate_few_runs, summarize_ks
 from repro.core.features import FeatureConfig
 from repro.core.representations import PearsonRndRepresentation
@@ -30,12 +31,14 @@ def test_ablation_input_moments(benchmark):
         ):
             table = evaluate_few_runs(
                 campaigns,
-                representation=rep,
-                model="knn",
-                n_probe_runs=config.n_probe_runs,
-                n_replicas=config.n_replicas_uc1,
-                feature_config=cfg,
-                seed=config.eval_seed,
+                config=EvalConfig(
+                    representation=rep,
+                    model="knn",
+                    n_probe_runs=config.n_probe_runs,
+                    n_replicas=config.n_replicas_uc1,
+                    feature_config=cfg,
+                    seed=config.eval_seed,
+                ),
             )
             rows.append({"features": label, "mean_ks": summarize_ks(table).mean})
         return ColumnTable.from_rows(rows)

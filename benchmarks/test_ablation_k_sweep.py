@@ -7,6 +7,7 @@ beats it by a large margin.
 
 import numpy as np
 
+from repro.core.config import EvalConfig
 from repro.core.evaluation import evaluate_few_runs, summarize_ks
 from repro.core.representations import PearsonRndRepresentation
 from repro.data.table import ColumnTable
@@ -28,11 +29,13 @@ def test_ablation_k_sweep(benchmark):
         for k in K_VALUES:
             table = evaluate_few_runs(
                 campaigns,
-                representation=rep,
-                model=KNNRegressor(k, metric="cosine"),
-                n_probe_runs=config.n_probe_runs,
-                n_replicas=config.n_replicas_uc1,
-                seed=config.eval_seed,
+                config=EvalConfig(
+                    representation=rep,
+                    model=KNNRegressor(k, metric="cosine"),
+                    n_probe_runs=config.n_probe_runs,
+                    n_replicas=config.n_replicas_uc1,
+                    seed=config.eval_seed,
+                ),
             )
             rows.append({"k": k, "mean_ks": summarize_ks(table).mean})
         return ColumnTable.from_rows(rows)

@@ -8,6 +8,7 @@ and checks cosine is never substantially worse than the alternatives.
 
 import numpy as np
 
+from repro.core.config import EvalConfig
 from repro.core.evaluation import evaluate_few_runs, summarize_ks
 from repro.core.representations import PearsonRndRepresentation
 from repro.data.table import ColumnTable
@@ -29,11 +30,13 @@ def test_ablation_knn_metric(benchmark):
         for metric in METRICS:
             table = evaluate_few_runs(
                 campaigns,
-                representation=rep,
-                model=KNNRegressor(15, metric=metric),
-                n_probe_runs=config.n_probe_runs,
-                n_replicas=config.n_replicas_uc1,
-                seed=config.eval_seed,
+                config=EvalConfig(
+                    representation=rep,
+                    model=KNNRegressor(15, metric=metric),
+                    n_probe_runs=config.n_probe_runs,
+                    n_replicas=config.n_replicas_uc1,
+                    seed=config.eval_seed,
+                ),
             )
             s = summarize_ks(table)
             rows.append({"metric": metric, "mean_ks": s.mean, "median_ks": s.median})

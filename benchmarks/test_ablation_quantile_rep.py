@@ -9,7 +9,8 @@ better than density averaging in principle.
 import numpy as np
 
 from repro.core.evaluation import evaluate_few_runs, summarize_ks
-from repro.core.representations import get_representation
+from repro import registry
+from repro.core.config import EvalConfig
 from repro.data.table import ColumnTable
 from repro.viz.export import export_table
 
@@ -27,11 +28,13 @@ def test_ablation_quantile_rep(benchmark):
         for name in REPS:
             table = evaluate_few_runs(
                 campaigns,
-                representation=get_representation(name),
-                model="knn",
-                n_probe_runs=config.n_probe_runs,
-                n_replicas=config.n_replicas_uc1,
-                seed=config.eval_seed,
+                config=EvalConfig(
+                    representation=registry.representation(name),
+                    model="knn",
+                    n_probe_runs=config.n_probe_runs,
+                    n_replicas=config.n_replicas_uc1,
+                    seed=config.eval_seed,
+                ),
             )
             rows.append({"representation": name, "mean_ks": summarize_ks(table).mean})
         return ColumnTable.from_rows(rows)

@@ -8,6 +8,7 @@ models train on, verifying the accuracy-vs-corpus-size trend.
 
 import numpy as np
 
+from repro.core.config import EvalConfig
 from repro.core.evaluation import evaluate_few_runs
 from repro.core.representations import PearsonRndRepresentation
 from repro.data.table import ColumnTable
@@ -34,11 +35,13 @@ def test_ablation_training_size(benchmark):
             subset = {b: campaigns[b] for b in probe_set + extra_pool[:n_extra]}
             table = evaluate_few_runs(
                 subset,
-                representation=rep,
-                model="knn",
-                n_probe_runs=config.n_probe_runs,
-                n_replicas=config.n_replicas_uc1,
-                seed=config.eval_seed,
+                config=EvalConfig(
+                    representation=rep,
+                    model="knn",
+                    n_probe_runs=config.n_probe_runs,
+                    n_replicas=config.n_replicas_uc1,
+                    seed=config.eval_seed,
+                ),
             )
             mask = np.isin(table["benchmark"], probe_set)
             mean_ks = float(np.asarray(table["ks"], dtype=float)[mask].mean())

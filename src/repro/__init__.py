@@ -27,11 +27,14 @@ Package map
 * :mod:`repro.obs` — metrics/tracing (contract in docs/OBSERVABILITY.md).
 """
 
+from . import registry
 from .core import (
     CrossSystemPredictor,
+    EvalConfig,
     FewRunsPredictor,
     HistogramRepresentation,
     PearsonRndRepresentation,
+    PredictConfig,
     PyMaxEntRepresentation,
     evaluate_cross_system,
     evaluate_few_runs,
@@ -41,14 +44,21 @@ from .core import (
 )
 from .simbench import benchmark_names, measure_all, run_campaign
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
+#: The stable v2 surface.  ``get_model``/``get_representation`` remain
+#: importable as deprecated shims over :mod:`repro.registry`; the online
+#: serving subsystem lives in :mod:`repro.serving` (imported on demand —
+#: ``import repro.serving``).  Deprecation policy: see README.md.
 __all__ = [
     "CrossSystemPredictor",
+    "EvalConfig",
     "FewRunsPredictor",
     "HistogramRepresentation",
     "PearsonRndRepresentation",
+    "PredictConfig",
     "PyMaxEntRepresentation",
+    "registry",
     "evaluate_cross_system",
     "evaluate_few_runs",
     "get_model",

@@ -1,0 +1,30 @@
+"""Deprecation plumbing for the v1 -> v2 API transition.
+
+One helper so every shim emits an identically-shaped
+:class:`DeprecationWarning` (tested in ``tests/test_api_v2.py``) and the
+README's deprecation policy has a single enforcement point.  Shims stay
+behavior-identical to the calls they wrap: same results, same error
+types — only the warning is added.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_deprecated"]
+
+
+def warn_deprecated(old: str, new: str, *, stacklevel: int = 3) -> None:
+    """Emit the standard v1-API deprecation warning.
+
+    *old* names the legacy call path, *new* the v2 replacement; the
+    warning points at the caller of the shim (``stacklevel=3`` skips the
+    shim frame itself).
+    """
+    warnings.warn(
+        f"{old} is deprecated and will be removed in a future major "
+        f"release; use {new} instead (see the deprecation policy in "
+        "README.md)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

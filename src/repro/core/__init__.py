@@ -7,6 +7,7 @@
 * :mod:`~repro.core.evaluation` — the leave-one-group-out KS protocol.
 """
 
+from .config import DEFAULT_EVAL_SEED, DEFAULT_PROBE_SEED, EvalConfig, PredictConfig
 from .evaluation import (
     MODELS,
     KSSummary,
@@ -33,6 +34,10 @@ from .representations import (
 )
 
 __all__ = [
+    "DEFAULT_EVAL_SEED",
+    "DEFAULT_PROBE_SEED",
+    "EvalConfig",
+    "PredictConfig",
     "MODELS",
     "KSSummary",
     "evaluate_cross_system",

@@ -1,0 +1,157 @@
+"""Frozen configuration objects — the v2 calling convention.
+
+The v1 API spread the same half-dozen knobs as bare keywords across
+``evaluate_few_runs`` / ``evaluate_cross_system`` and the two predictor
+constructors, with per-call-site defaults that could silently drift.
+The v2 surface consolidates them into two immutable dataclasses:
+
+* :class:`PredictConfig` — how a *predictor* is built (model,
+  representation, probe sampling, featurization, seed); consumed by
+  :meth:`FewRunsPredictor.from_config` and
+  :meth:`CrossSystemPredictor.from_config`;
+* :class:`EvalConfig` — one leave-one-group-out *evaluation* (the same
+  knobs plus the evaluation seed and worker count); consumed by
+  :func:`~repro.core.evaluation.evaluate_few_runs` and
+  :func:`~repro.core.evaluation.evaluate_cross_system`.
+
+Model and representation fields accept either registry names (``"knn"``,
+``"pearsonrnd"`` — resolved through :mod:`repro.registry`) or concrete
+instances.  Both classes are plain frozen dataclasses: derive variants
+with :func:`dataclasses.replace`.
+
+The old keyword call paths keep working as deprecation shims; see the
+README's deprecation policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+from .features import FeatureConfig
+
+__all__ = ["PredictConfig", "EvalConfig", "DEFAULT_PROBE_SEED", "DEFAULT_EVAL_SEED"]
+
+#: Seed of the probe-sampling stream used by the predictor pipelines.
+DEFAULT_PROBE_SEED = 909090
+
+#: Seed of the evaluation protocol (probe sampling + KS scoring draws).
+DEFAULT_EVAL_SEED = 616161
+
+
+def _resolve_model(model):
+    """Registry name or instance -> fresh model instance."""
+    if isinstance(model, str):
+        from .. import registry
+
+        return registry.model(model)
+    return model
+
+
+def _resolve_representation(representation):
+    """Registry name or instance -> representation instance."""
+    if isinstance(representation, str):
+        from .. import registry
+
+        return registry.representation(representation)
+    return representation
+
+
+@dataclass(frozen=True)
+class PredictConfig:
+    """How a prediction pipeline is assembled.
+
+    Attributes
+    ----------
+    model:
+        Registry name (``"knn"``/``"rf"``/``"xgboost"``) or a
+        :class:`~repro.ml.base.Regressor` instance.
+    representation:
+        Registry name or a
+        :class:`~repro.core.representations.DistributionRepresentation`.
+    n_probe_runs:
+        Probe size for use case 1 (ignored by use case 2).
+    n_replicas:
+        Training-row replicas per benchmark; ``None`` picks the use
+        case's default (8 for few-runs, 4 for cross-system).
+    feature_config:
+        Featurization options.
+    seed:
+        Probe-sampling seed of the training-row builders.
+    """
+
+    model: object = "knn"
+    representation: object = "pearsonrnd"
+    n_probe_runs: int = 10
+    n_replicas: int | None = None
+    feature_config: FeatureConfig | None = None
+    seed: int = DEFAULT_PROBE_SEED
+
+    def resolve_model(self):
+        """Fresh model instance for this config."""
+        return _resolve_model(self.model)
+
+    def resolve_representation(self):
+        """Representation instance for this config."""
+        return _resolve_representation(self.representation)
+
+    def replicas(self, default: int) -> int:
+        """``n_replicas`` with the use case's *default* filled in."""
+        return default if self.n_replicas is None else self.n_replicas
+
+
+@dataclass(frozen=True)
+class EvalConfig:
+    """One leave-one-group-out evaluation (use case 1 or 2).
+
+    Attributes
+    ----------
+    representation / model:
+        As in :class:`PredictConfig`; registry names additionally enable
+        the engine's (model, encoding) fold-prediction memo.
+    n_probe_runs:
+        Probe size for use case 1 (ignored by use case 2).
+    n_replicas:
+        Training-row replicas per benchmark; ``None`` = use-case default.
+    feature_config:
+        Featurization options (``None`` = defaults).
+    seed:
+        Evaluation seed — probe sampling and the per-benchmark KS
+        scoring streams both derive from it.
+    n_workers:
+        Fold-dispatch process count (1 = serial; results are
+        bit-identical at any value).
+    """
+
+    representation: object = "pearsonrnd"
+    model: object = "knn"
+    n_probe_runs: int = 10
+    n_replicas: int | None = None
+    feature_config: FeatureConfig | None = None
+    seed: int = DEFAULT_EVAL_SEED
+    n_workers: int = 1
+
+    def __post_init__(self) -> None:
+        """Validate the knobs that are cheap to check eagerly."""
+        if self.n_probe_runs < 1:
+            raise ValidationError("n_probe_runs must be >= 1")
+        if self.n_replicas is not None and self.n_replicas < 1:
+            raise ValidationError("n_replicas must be >= 1")
+        if self.n_workers < 1:
+            raise ValidationError("n_workers must be >= 1")
+
+    def resolve_model(self):
+        """Fresh model instance for this config."""
+        return _resolve_model(self.model)
+
+    def resolve_representation(self):
+        """Representation instance for this config."""
+        return _resolve_representation(self.representation)
+
+    def model_key(self) -> str | None:
+        """Memo key for the engine's fold-vector cache (names only)."""
+        return self.model.lower() if isinstance(self.model, str) else None
+
+    def replicas(self, default: int) -> int:
+        """``n_replicas`` with the use case's *default* filled in."""
+        return default if self.n_replicas is None else self.n_replicas

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import obs
+from .._deprecation import warn_deprecated
 from .._validation import check_random_state
 from ..data.dataset import RunCampaign
 from ..data.table import ColumnTable
@@ -28,6 +29,7 @@ from ..ml.forest import RandomForestRegressor
 from ..ml.knn import KNNRegressor
 from ..parallel.seeding import seed_for
 from ..simbench.suites import suite_of
+from .config import DEFAULT_EVAL_SEED, EvalConfig
 from .engine import CrossSystemDesign, FewRunsDesign, logo_fold_vectors
 from .features import FeatureConfig
 from .representations import DistributionRepresentation
@@ -42,7 +44,7 @@ __all__ = [
     "summarize_ks",
 ]
 
-_EVAL_SEED = 616161
+_EVAL_SEED = DEFAULT_EVAL_SEED
 
 
 def _make_knn() -> Regressor:
@@ -80,17 +82,68 @@ MODELS: dict[str, object] = {
 
 
 def get_model(name: str) -> Regressor:
-    """Fresh instance of a registered model by reporting name."""
-    try:
-        return MODELS[name.lower()]()  # type: ignore[operator]
-    except KeyError:
+    """Deprecated shim: fresh registered model (use :mod:`repro.registry`)."""
+    from .. import registry
+
+    warn_deprecated("repro.core.evaluation.get_model", "repro.registry.model")
+    return registry.model(name)
+
+
+def _legacy_eval_config(
+    *,
+    representation,
+    model,
+    n_probe_runs,
+    n_replicas,
+    feature_config,
+    seed,
+    n_workers,
+    api: str,
+) -> EvalConfig:
+    """Fold v1 keyword sprawl into an :class:`EvalConfig` (with warning).
+
+    The shim keeps the v1 defaults exactly (``None`` marks "not passed")
+    so legacy call sites produce bit-identical results to the seed API.
+    """
+    warn_deprecated(
+        f"calling {api} with bare keyword arguments",
+        f"{api}(campaigns, config=EvalConfig(...))",
+        stacklevel=4,
+    )
+    if representation is None or model is None:
         raise ValidationError(
-            f"unknown model {name!r}; choose from {sorted(MODELS)}"
-        ) from None
+            "representation and model are required (or pass config=EvalConfig(...))"
+        )
+    return EvalConfig(
+        representation=representation,
+        model=model,
+        n_probe_runs=10 if n_probe_runs is None else n_probe_runs,
+        n_replicas=n_replicas,
+        feature_config=feature_config,
+        seed=_EVAL_SEED if seed is None else seed,
+        n_workers=1 if n_workers is None else n_workers,
+    )
 
 
-def _resolve_model(model) -> Regressor:
-    return get_model(model) if isinstance(model, str) else model
+def _coalesce_config(
+    config: EvalConfig | None,
+    api: str,
+    legacy: dict,
+) -> EvalConfig:
+    """Resolve the v2 ``config`` argument against v1 keywords.
+
+    Mixing both is an error; a missing config routes through the
+    deprecation shim.
+    """
+    if config is not None:
+        passed = sorted(k for k, v in legacy.items() if v is not None)
+        if passed:
+            raise ValidationError(
+                f"pass either config=EvalConfig(...) or legacy keywords, "
+                f"not both (got config plus {passed})"
+            )
+        return config
+    return _legacy_eval_config(api=api, **legacy)
 
 
 def score_fold_vectors(
@@ -189,19 +242,25 @@ def _logo_ks(
 
 
 def evaluate_few_runs(
-    campaigns: dict[str, RunCampaign] | None,
+    campaigns: dict[str, RunCampaign] | None = None,
+    config: EvalConfig | None = None,
     *,
-    representation: DistributionRepresentation,
-    model: Regressor | str,
-    n_probe_runs: int = 10,
-    n_replicas: int = 8,
+    representation: DistributionRepresentation | str | None = None,
+    model: Regressor | str | None = None,
+    n_probe_runs: int | None = None,
+    n_replicas: int | None = None,
     feature_config: FeatureConfig | None = None,
-    seed: int = _EVAL_SEED,
-    n_workers: int = 1,
+    seed: int | None = None,
+    n_workers: int | None = None,
     design: FewRunsDesign | None = None,
     pool=None,
 ) -> ColumnTable:
     """Use-case-1 LOGO evaluation; one KS score per benchmark.
+
+    The v2 calling convention is ``evaluate_few_runs(campaigns,
+    config=EvalConfig(...))``; the bare keyword arguments are the
+    deprecated v1 path (kept bit-identical, but emitting
+    :class:`DeprecationWarning`).
 
     The evaluation probe of each benchmark is drawn with a seed stream
     disjoint from the training replicas, so a held-out application is
@@ -215,47 +274,76 @@ def evaluate_few_runs(
     persistent :class:`~repro.parallel.WorkerPool` as ``pool`` to reuse
     warm workers (and their shared-memory plane) across calls.
     """
-    mdl = _resolve_model(model)
+    cfg = _coalesce_config(
+        config,
+        "evaluate_few_runs",
+        dict(
+            representation=representation,
+            model=model,
+            n_probe_runs=n_probe_runs,
+            n_replicas=n_replicas,
+            feature_config=feature_config,
+            seed=seed,
+            n_workers=n_workers,
+        ),
+    )
+    rep = cfg.resolve_representation()
     if design is None:
         if campaigns is None:
             raise ValidationError("need campaigns or a prebuilt design")
         design = FewRunsDesign(
             campaigns,
-            n_probe_runs=n_probe_runs,
-            n_replicas=n_replicas,
-            feature_config=feature_config,
-            seed=seed,
+            n_probe_runs=cfg.n_probe_runs,
+            n_replicas=cfg.replicas(8),
+            feature_config=cfg.feature_config,
+            seed=cfg.seed,
         )
     vectors = design.fold_vectors(
-        mdl,
-        representation,
-        model_key=model.lower() if isinstance(model, str) else None,
-        n_workers=n_workers,
+        cfg.resolve_model(),
+        rep,
+        model_key=cfg.model_key(),
+        n_workers=cfg.n_workers,
         pool=pool,
     )
-    return score_fold_vectors(vectors, representation, design.measured, seed=seed)
+    return score_fold_vectors(vectors, rep, design.measured, seed=cfg.seed)
 
 
 def evaluate_cross_system(
-    source_campaigns: dict[str, RunCampaign] | None,
-    target_campaigns: dict[str, RunCampaign] | None,
+    source_campaigns: dict[str, RunCampaign] | None = None,
+    target_campaigns: dict[str, RunCampaign] | None = None,
+    config: EvalConfig | None = None,
     *,
-    representation: DistributionRepresentation,
-    model: Regressor | str,
-    n_replicas: int = 4,
+    representation: DistributionRepresentation | str | None = None,
+    model: Regressor | str | None = None,
+    n_replicas: int | None = None,
     feature_config: FeatureConfig | None = None,
-    seed: int = _EVAL_SEED,
-    n_workers: int = 1,
+    seed: int | None = None,
+    n_workers: int | None = None,
     design: CrossSystemDesign | None = None,
     pool=None,
 ) -> ColumnTable:
     """Use-case-2 LOGO evaluation; one KS score per benchmark.
 
+    The v2 calling convention is ``evaluate_cross_system(src, dst,
+    config=EvalConfig(...))``; bare keywords are the deprecated v1 path.
     Accepts a prebuilt :class:`~repro.core.engine.CrossSystemDesign` like
     :func:`evaluate_few_runs` does for use case 1, and a persistent
     ``pool`` like it too.
     """
-    mdl = _resolve_model(model)
+    cfg = _coalesce_config(
+        config,
+        "evaluate_cross_system",
+        dict(
+            representation=representation,
+            model=model,
+            n_probe_runs=None,
+            n_replicas=n_replicas,
+            feature_config=feature_config,
+            seed=seed,
+            n_workers=n_workers,
+        ),
+    )
+    rep = cfg.resolve_representation()
     if design is None:
         if source_campaigns is None or target_campaigns is None:
             raise ValidationError("need campaigns or a prebuilt design")
@@ -267,20 +355,20 @@ def evaluate_cross_system(
         design = CrossSystemDesign(
             {k: source_campaigns[k] for k in common},
             {k: target_campaigns[k] for k in common},
-            n_replicas=n_replicas,
-            feature_config=feature_config,
-            seed=seed,
+            n_replicas=cfg.replicas(4),
+            feature_config=cfg.feature_config,
+            seed=cfg.seed,
         )
     elif len(design.names) < 2:
         raise ValidationError("need at least two benchmarks common to both systems")
     vectors = design.fold_vectors(
-        mdl,
-        representation,
-        model_key=model.lower() if isinstance(model, str) else None,
-        n_workers=n_workers,
+        cfg.resolve_model(),
+        rep,
+        model_key=cfg.model_key(),
+        n_workers=cfg.n_workers,
         pool=pool,
     )
-    return score_fold_vectors(vectors, representation, design.measured, seed=seed)
+    return score_fold_vectors(vectors, rep, design.measured, seed=cfg.seed)
 
 
 @dataclass(frozen=True)

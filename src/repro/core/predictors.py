@@ -132,6 +132,36 @@ class FewRunsPredictor:
     feature_config: FeatureConfig = field(default_factory=FeatureConfig)
     seed: int = _PROBE_SEED
 
+    @classmethod
+    def from_config(cls, config) -> "FewRunsPredictor":
+        """Build a predictor from a :class:`~repro.core.config.PredictConfig`.
+
+        The v2 construction path: registry names in the config are
+        resolved to fresh instances, ``n_replicas=None`` picks this use
+        case's default (8).
+        """
+        return cls(
+            model=config.resolve_model(),
+            representation=config.resolve_representation(),
+            n_probe_runs=config.n_probe_runs,
+            n_replicas=config.replicas(8),
+            feature_config=config.feature_config or FeatureConfig(),
+            seed=config.seed,
+        )
+
+    def to_bytes(self) -> bytes:
+        """Versioned wire form (see :mod:`repro.serving.serialization`)."""
+        from ..serving.serialization import to_bytes
+
+        return to_bytes(self)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "FewRunsPredictor":
+        """Inverse of :meth:`to_bytes`, with load-time schema checking."""
+        from ..serving.serialization import from_bytes
+
+        return from_bytes(blob, expect=cls)
+
     def fit(self, campaigns: dict[str, RunCampaign], *, exclude: tuple[str, ...] = ()) -> "FewRunsPredictor":
         """Train on measured campaigns (optionally excluding benchmarks).
 
@@ -184,6 +214,33 @@ class CrossSystemPredictor:
     n_replicas: int = 4
     feature_config: FeatureConfig = field(default_factory=FeatureConfig)
     seed: int = _PROBE_SEED
+
+    @classmethod
+    def from_config(cls, config) -> "CrossSystemPredictor":
+        """Build a predictor from a :class:`~repro.core.config.PredictConfig`.
+
+        ``n_replicas=None`` picks this use case's default (4).
+        """
+        return cls(
+            model=config.resolve_model(),
+            representation=config.resolve_representation(),
+            n_replicas=config.replicas(4),
+            feature_config=config.feature_config or FeatureConfig(),
+            seed=config.seed,
+        )
+
+    def to_bytes(self) -> bytes:
+        """Versioned wire form (see :mod:`repro.serving.serialization`)."""
+        from ..serving.serialization import to_bytes
+
+        return to_bytes(self)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "CrossSystemPredictor":
+        """Inverse of :meth:`to_bytes`, with load-time schema checking."""
+        from ..serving.serialization import from_bytes
+
+        return from_bytes(blob, expect=cls)
 
     def fit(
         self,

@@ -333,13 +333,12 @@ def _register_extensions() -> None:
 
 
 def get_representation(name: str, **kwargs) -> DistributionRepresentation:
-    """Instantiate a representation by registry name."""
-    if "quantile" not in REPRESENTATIONS:
-        _register_extensions()
-    try:
-        cls = REPRESENTATIONS[name.lower()]
-    except KeyError:
-        raise ValidationError(
-            f"unknown representation {name!r}; choose from {sorted(REPRESENTATIONS)}"
-        ) from None
-    return cls(**kwargs)
+    """Deprecated shim: representation by name (use :mod:`repro.registry`)."""
+    from .. import registry
+    from .._deprecation import warn_deprecated
+
+    warn_deprecated(
+        "repro.core.representations.get_representation",
+        "repro.registry.representation",
+    )
+    return registry.representation(name, **kwargs)

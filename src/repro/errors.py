@@ -17,6 +17,8 @@ __all__ = [
     "ConvergenceError",
     "UnknownBenchmarkError",
     "UnknownSystemError",
+    "SerializationError",
+    "ArtifactError",
 ]
 
 
@@ -50,3 +52,11 @@ class UnknownBenchmarkError(ReproError, KeyError):
 
 class UnknownSystemError(ReproError, KeyError):
     """A system name was not found in the registry."""
+
+
+class SerializationError(ReproError, RuntimeError):
+    """A model blob failed its schema/integrity check at load time."""
+
+
+class ArtifactError(ReproError, RuntimeError):
+    """An artifact-store object is missing, torn, or foreign."""

@@ -15,18 +15,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .. import obs
+from .. import obs, registry
 from .._validation import check_random_state
 from ..core.engine import FewRunsDesign
 from ..core.evaluation import (
-    get_model,
     score_fold_vectors,
     score_vector_sets,
     summarize_ks,
 )
 from ..core.features import FeatureConfig
 from ..core.predictors import FewRunsPredictor
-from ..core.representations import get_representation
 from ..data.dataset import RunCampaign
 from ..data.table import ColumnTable
 from ..parallel.seeding import seed_for
@@ -82,12 +80,12 @@ def representation_model_grid(
     frames = []
     with WorkerPool(config.n_workers) as pool:
         for rep_name in config.representations:
-            rep = get_representation(rep_name)
+            rep = registry.representation(rep_name)
             for model_name in config.models:
                 with obs.span("cell", representation=rep_name, model=model_name):
                     with timer.time("fit"):
                         vectors = design.fold_vectors(
-                            get_model(model_name),
+                            registry.model(model_name),
                             rep,
                             model_key=model_name,
                             n_workers=config.n_workers,
@@ -128,7 +126,7 @@ def sample_count_sweep(
     per-size :func:`~repro.core.evaluation.evaluate_few_runs` loop it
     replaces.
     """
-    rep = get_representation(representation)
+    rep = registry.representation(representation)
     mdl_key = model.lower()
     vector_sets = []
     measured = None
@@ -142,7 +140,7 @@ def sample_count_sweep(
             )
             vector_sets.append(
                 design.fold_vectors(
-                    get_model(mdl_key),
+                    registry.model(mdl_key),
                     rep,
                     model_key=mdl_key,
                     n_workers=config.n_workers,
@@ -189,13 +187,13 @@ def overlay_examples(
     *other* campaign (true LOGO), probed with ``config.n_probe_runs``
     fresh runs.
     """
-    rep = get_representation(representation)
+    rep = registry.representation(representation)
     out = []
     for bench in benchmarks:
         if bench not in campaigns:
             continue
         predictor = FewRunsPredictor(
-            model=get_model(model),
+            model=registry.model(model),
             representation=rep,
             n_probe_runs=config.n_probe_runs,
             n_replicas=config.n_replicas_uc1,

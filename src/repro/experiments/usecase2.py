@@ -12,17 +12,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .. import obs
+from .. import obs, registry
 from .._validation import check_random_state
 from ..core.engine import CrossSystemDesign
 from ..errors import ValidationError
+from ..core.config import EvalConfig
 from ..core.evaluation import (
     evaluate_cross_system,
-    get_model,
     score_fold_vectors,
 )
 from ..core.predictors import CrossSystemPredictor
-from ..core.representations import get_representation
 from ..data.dataset import RunCampaign
 from ..data.table import ColumnTable
 from ..parallel.seeding import seed_for
@@ -88,12 +87,12 @@ def representation_model_grid(
     frames = []
     with WorkerPool(config.n_workers) as pool:
         for rep_name in config.representations:
-            rep = get_representation(rep_name)
+            rep = registry.representation(rep_name)
             for model_name in config.models:
                 with obs.span("cell", representation=rep_name, model=model_name):
                     with timer.time("fit"):
                         vectors = design.fold_vectors(
-                            get_model(model_name),
+                            registry.model(model_name),
                             rep,
                             model_key=model_name,
                             n_workers=config.n_workers,
@@ -129,7 +128,7 @@ def direction_study(
     Both directions share one persistent worker pool, so the second
     direction dispatches onto already-warm workers.
     """
-    rep = get_representation(representation)
+    rep = registry.representation(representation)
     frames = []
     with WorkerPool(config.n_workers) as pool:
         for direction, (src, dst) in {
@@ -139,11 +138,13 @@ def direction_study(
             tab = evaluate_cross_system(
                 src,
                 dst,
-                representation=rep,
-                model=model,
-                n_replicas=config.n_replicas_uc2,
-                seed=config.eval_seed,
-                n_workers=config.n_workers,
+                config=EvalConfig(
+                    representation=rep,
+                    model=model,
+                    n_replicas=config.n_replicas_uc2,
+                    seed=config.eval_seed,
+                    n_workers=config.n_workers,
+                ),
                 pool=pool,
             )
             for row in tab.rows():
@@ -178,13 +179,13 @@ def overlay_examples(
     model: str = "knn",
 ) -> list[CrossOverlayExample]:
     """Fig. 9 data: true-LOGO cross-system overlays for selected benchmarks."""
-    rep = get_representation(representation)
+    rep = registry.representation(representation)
     out = []
     for bench in benchmarks:
         if bench not in source or bench not in target:
             continue
         predictor = CrossSystemPredictor(
-            model=get_model(model),
+            model=registry.model(model),
             representation=rep,
             n_replicas=config.n_replicas_uc2,
             seed=config.eval_seed,

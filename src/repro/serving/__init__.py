@@ -1,0 +1,57 @@
+"""repro.serving — online prediction serving for fitted predictors.
+
+Fit once, serve many: this subpackage adds a persistence and serving
+layer on top of the core pipelines without touching their math.
+
+* :mod:`~repro.serving.serialization` — versioned, integrity-checked
+  bytes for predictors and representations (``REPROMODEL1`` format);
+* :mod:`~repro.serving.artifacts` — content-addressed durable store
+  (atomic writes, sha256-verified reads, named tags);
+* :mod:`~repro.serving.registry` — :class:`ModelRegistry`, fit-once
+  persistence with an in-process LRU of hydrated predictors;
+* :mod:`~repro.serving.service` — :class:`PredictionService`, the
+  micro-batching data plane (request coalescing, response cache,
+  admission control, deadlines) with bit-identical outputs;
+* :mod:`~repro.serving.server` — stdlib-asyncio JSONL-over-TCP server,
+  background :class:`ServerHandle`, and the blocking
+  :class:`ServingClient`.
+
+Quickstart::
+
+    from repro import FewRunsPredictor, measure_all
+    from repro.serving import ModelRegistry, ServerHandle, ServingClient
+    from repro.serving.protocol import encode_campaign
+
+    registry = ModelRegistry("results/models")
+    registry.save(FewRunsPredictor().fit(measure_all("intel")), name="uc1")
+    with ServerHandle(registry) as server:
+        with ServingClient("127.0.0.1", server.port) as client:
+            probe = measure_all("intel")["npb/cg"].subset(range(10))
+            reply = client.request(
+                {"op": "predict", "model": "uc1",
+                 "campaign": encode_campaign(probe)}
+            )
+
+The subsystem is import-on-demand (``import repro.serving``) and not
+pulled in by ``import repro``; the serving metric contract lives in
+``docs/OBSERVABILITY.md``, the operational guide in ``docs/SERVING.md``.
+"""
+
+from .artifacts import ArtifactStore
+from .registry import DEFAULT_MODEL_ROOT, ModelRegistry
+from .serialization import from_bytes, to_bytes
+from .server import ServerHandle, ServingClient, serve
+from .service import PredictionService, ServingConfig
+
+__all__ = [
+    "ArtifactStore",
+    "DEFAULT_MODEL_ROOT",
+    "ModelRegistry",
+    "PredictionService",
+    "ServerHandle",
+    "ServingClient",
+    "ServingConfig",
+    "from_bytes",
+    "serve",
+    "to_bytes",
+]

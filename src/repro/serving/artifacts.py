@@ -1,0 +1,157 @@
+"""Content-addressed artifact store backing the model registry.
+
+Layout under the store root::
+
+    objects/<key[:2]>/<key>.bin    # the blob, named by its sha256
+    objects/<key[:2]>/<key>.json   # sidecar metadata (class, sizes, ...)
+    tags/<name>.json               # human name -> key indirection
+
+Every write is atomic (temp file + ``os.replace`` in the same
+directory), so a crashed writer can never leave a torn object visible;
+every read re-hashes the bytes against the file name, so silent on-disk
+corruption surfaces as :class:`~repro.errors.ArtifactError` rather than
+a bad prediction.  Because objects are immutable and keyed by content,
+concurrent writers of the same blob are idempotent and tags are the
+only mutable state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+from pathlib import Path
+
+from ..errors import ArtifactError, ValidationError
+
+__all__ = ["ArtifactStore"]
+
+_KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+_TAG_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write *data* to *path* atomically (same-directory temp + replace)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ArtifactStore:
+    """Immutable content-addressed blob store with named tags."""
+
+    def __init__(self, root) -> None:
+        """Open (creating if needed) a store rooted at *root*."""
+        self.root = Path(root)
+        (self.root / "objects").mkdir(parents=True, exist_ok=True)
+        (self.root / "tags").mkdir(parents=True, exist_ok=True)
+
+    def _object_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.bin"
+
+    def _meta_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def _tag_path(self, name: str) -> Path:
+        if not _TAG_RE.match(name):
+            raise ValidationError(
+                f"invalid tag name {name!r}: use letters, digits, '.', '_', '-'"
+            )
+        return self.root / "tags" / f"{name}.json"
+
+    def put(self, blob: bytes, meta: dict | None = None) -> str:
+        """Store *blob*, returning its content key (sha256 hex).
+
+        Re-putting identical bytes is a no-op returning the same key.
+        """
+        key = hashlib.sha256(blob).hexdigest()
+        path = self._object_path(key)
+        if not path.exists():
+            _atomic_write(path, blob)
+        record = {"key": key, "size": len(blob)}
+        record.update(meta or {})
+        _atomic_write(
+            self._meta_path(key),
+            json.dumps(record, sort_keys=True, indent=1).encode(),
+        )
+        return key
+
+    def has(self, key: str) -> bool:
+        """Whether an object with this content key exists."""
+        return bool(_KEY_RE.match(key)) and self._object_path(key).exists()
+
+    def get(self, key: str) -> bytes:
+        """Read an object, verifying its bytes still hash to *key*."""
+        if not _KEY_RE.match(key):
+            raise ValidationError(f"not a content key: {key!r}")
+        path = self._object_path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError as exc:
+            raise ArtifactError(f"no artifact {key} in {self.root}") from exc
+        if hashlib.sha256(blob).hexdigest() != key:
+            raise ArtifactError(
+                f"artifact {key} failed its integrity re-hash; the store "
+                "file is corrupted"
+            )
+        return blob
+
+    def meta(self, key: str) -> dict:
+        """Sidecar metadata recorded at :meth:`put` time."""
+        try:
+            return json.loads(self._meta_path(key).read_text())
+        except OSError as exc:
+            raise ArtifactError(f"no metadata for artifact {key}") from exc
+
+    def keys(self) -> list[str]:
+        """All content keys in the store, sorted."""
+        return sorted(
+            p.stem for p in (self.root / "objects").glob("*/*.bin")
+        )
+
+    def tag(self, name: str, key: str) -> None:
+        """Point tag *name* at *key* (atomically replacing any old target)."""
+        path = self._tag_path(name)
+        if not self.has(key):
+            raise ArtifactError(f"cannot tag missing artifact {key}")
+        _atomic_write(
+            path,
+            json.dumps({"name": name, "key": key}, sort_keys=True).encode(),
+        )
+
+    def tags(self) -> dict[str, str]:
+        """Mapping of tag name -> content key, sorted by name."""
+        out: dict[str, str] = {}
+        for p in sorted((self.root / "tags").glob("*.json")):
+            try:
+                record = json.loads(p.read_text())
+            except (OSError, ValueError):
+                continue
+            out[record["name"]] = record["key"]
+        return out
+
+    def resolve(self, name_or_key: str) -> str:
+        """Resolve a tag name or full content key to a content key."""
+        if _KEY_RE.match(name_or_key):
+            if self.has(name_or_key):
+                return name_or_key
+            raise ArtifactError(f"no artifact {name_or_key} in {self.root}")
+        tag_path = self._tag_path(name_or_key)
+        try:
+            record = json.loads(tag_path.read_text())
+        except OSError as exc:
+            raise ArtifactError(
+                f"no tag or artifact named {name_or_key!r} in {self.root}"
+            ) from exc
+        return record["key"]

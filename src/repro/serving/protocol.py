@@ -1,0 +1,149 @@
+"""Wire protocol for the prediction server: JSON lines over TCP.
+
+Every message is one JSON object on one ``\\n``-terminated line.  Arrays
+cross the wire as base64 of little-endian float64 bytes — exact (no
+decimal round-trip) and compact.  Scalar floats in responses use plain
+JSON numbers, which Python serializes with shortest-round-trip ``repr``
+so ``json.loads(json.dumps(x)) == x`` bit-exactly for every finite
+float64; predicted vectors therefore survive the wire unchanged.
+
+Request fingerprints — the response-cache key — hash the *resolved*
+model content key together with the canonical encoding of everything
+that can influence the answer (probe arrays, metric names, sampling
+parameters).  Two requests with equal fingerprints are guaranteed equal
+answers, which is what makes response caching bit-safe.
+
+Status codes follow HTTP conventions so clients can reuse familiar
+handling: 200 ok, 400 malformed request, 404 unknown model, 429 queue
+full (backpressure), 504 deadline expired, 500 internal error.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+
+import numpy as np
+
+from ..data.dataset import RunCampaign
+from ..errors import ValidationError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "encode_array",
+    "decode_array",
+    "encode_campaign",
+    "decode_campaign",
+    "request_fingerprint",
+    "ok",
+    "error",
+]
+
+#: Version tag clients may send; the server rejects newer majors.
+PROTOCOL_VERSION = 1
+
+
+def encode_array(a: np.ndarray) -> str:
+    """Base64 of the array's little-endian float64 bytes (exact)."""
+    arr = np.ascontiguousarray(np.asarray(a, dtype="<f8"))
+    return base64.b64encode(arr.tobytes()).decode("ascii")
+
+
+def decode_array(text: str, *, shape=None) -> np.ndarray:
+    """Inverse of :func:`encode_array`; optionally reshape."""
+    try:
+        raw = base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise ValidationError(f"invalid base64 array field: {exc}") from exc
+    if len(raw) % 8:
+        raise ValidationError("array byte length is not a multiple of 8")
+    arr = np.frombuffer(raw, dtype="<f8").astype(np.float64)
+    if shape is not None:
+        try:
+            arr = arr.reshape(shape)
+        except ValueError as exc:
+            raise ValidationError(
+                f"array of {arr.size} values cannot take shape {shape}"
+            ) from exc
+    return arr
+
+
+def encode_campaign(campaign: RunCampaign) -> dict:
+    """JSON-safe dict form of a :class:`~repro.data.dataset.RunCampaign`."""
+    return {
+        "benchmark": campaign.benchmark,
+        "system": campaign.system,
+        "runtimes": encode_array(campaign.runtimes),
+        "counters": encode_array(campaign.counters),
+        "counters_shape": list(campaign.counters.shape),
+        "metric_names": list(campaign.metric_names),
+    }
+
+
+def decode_campaign(payload: dict) -> RunCampaign:
+    """Inverse of :func:`encode_campaign`, with full input validation."""
+    if not isinstance(payload, dict):
+        raise ValidationError("campaign must be a JSON object")
+    try:
+        benchmark = payload["benchmark"]
+        system = payload["system"]
+        runtimes = decode_array(payload["runtimes"])
+        counters = decode_array(
+            payload["counters"], shape=tuple(payload["counters_shape"])
+        )
+        metric_names = tuple(payload["metric_names"])
+    except KeyError as exc:
+        raise ValidationError(f"campaign is missing field {exc.args[0]!r}") from exc
+    except TypeError as exc:
+        raise ValidationError(f"malformed campaign payload: {exc}") from exc
+    if not isinstance(benchmark, str) or not isinstance(system, str):
+        raise ValidationError("campaign benchmark/system must be strings")
+    return RunCampaign(benchmark, system, runtimes, counters, metric_names)
+
+
+def request_fingerprint(
+    model_key: str,
+    campaign: RunCampaign,
+    *,
+    n_samples: int = 0,
+    sample_seed: int = 0,
+) -> str:
+    """Content hash identifying a predict request's answer.
+
+    The fingerprint covers the resolved model content key and the exact
+    probe bytes, so equal fingerprints imply bit-equal responses — the
+    invariant the response cache relies on.
+    """
+    h = hashlib.sha256()
+    canon = json.dumps(
+        {
+            "model_key": model_key,
+            "benchmark": campaign.benchmark,
+            "system": campaign.system,
+            "metric_names": list(campaign.metric_names),
+            "counters_shape": list(campaign.counters.shape),
+            "n_samples": int(n_samples),
+            "sample_seed": int(sample_seed),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    h.update(canon.encode())
+    h.update(np.ascontiguousarray(campaign.runtimes, dtype="<f8").tobytes())
+    h.update(np.ascontiguousarray(campaign.counters, dtype="<f8").tobytes())
+    return h.hexdigest()
+
+
+def ok(**fields) -> dict:
+    """A status-200 response body."""
+    body = {"status": 200}
+    body.update(fields)
+    return body
+
+
+def error(status: int, message: str, **fields) -> dict:
+    """An error response body with HTTP-style *status*."""
+    body = {"status": int(status), "error": message}
+    body.update(fields)
+    return body

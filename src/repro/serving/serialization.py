@@ -1,0 +1,187 @@
+"""Versioned, integrity-checked byte serialization for fitted objects.
+
+The wire format is the unit of persistence for the model registry
+(:mod:`repro.serving.registry`) and the artifact store: a magic line, a
+JSON header, then a pickle payload::
+
+    REPROMODEL1\\n
+    {"schema": "repro.model", "schema_version": 1, "class": ..., ...}\\n
+    <pickle protocol-5 payload>
+
+Design constraints, in order:
+
+* **Determinism** — the same fitted object always produces the same
+  bytes (pickle protocol pinned, JSON header canonicalized with sorted
+  keys), so blobs can be content-addressed by their sha256.
+* **Load-time schema checking** — loads verify the magic, the schema
+  version, the payload digest, and that the declared class is one of
+  the explicitly allowed predictor/representation classes *before*
+  unpickling anything; a truncated, corrupted, or foreign blob raises
+  :class:`~repro.errors.SerializationError` instead of crashing deep in
+  pickle.
+* **No new dependencies** — stdlib ``json`` + ``pickle`` + ``hashlib``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import pickle
+
+from ..errors import SerializationError
+
+__all__ = [
+    "MAGIC",
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "ALLOWED_CLASSES",
+    "to_bytes",
+    "from_bytes",
+    "peek_header",
+    "content_key",
+]
+
+#: First bytes of every model blob; bumping the trailing digit is a
+#: breaking format change.
+MAGIC = b"REPROMODEL1\n"
+
+#: Header schema identifier — distinguishes model blobs from any future
+#: artifact kinds sharing the store.
+SCHEMA = "repro.model"
+
+#: Current header schema version; loaders accept exactly this version.
+SCHEMA_VERSION = 1
+
+#: Dotted paths of classes a blob may declare.  The whitelist is checked
+#: before unpickling, so the store never instantiates arbitrary classes.
+ALLOWED_CLASSES = (
+    "repro.core.predictors.FewRunsPredictor",
+    "repro.core.predictors.CrossSystemPredictor",
+    "repro.core.representations.HistogramRepresentation",
+    "repro.core.representations.PyMaxEntRepresentation",
+    "repro.core.representations.PearsonRndRepresentation",
+    "repro.core.quantile_representation.QuantileRepresentation",
+)
+
+#: Pickle protocol is pinned so identical objects serialize to identical
+#: bytes across interpreter invocations (required for content addressing).
+_PICKLE_PROTOCOL = 5
+
+
+def _dotted_class(obj: object) -> str:
+    cls = type(obj)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def _repro_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+def to_bytes(obj: object) -> bytes:
+    """Serialize a predictor or representation to the versioned format.
+
+    Raises :class:`~repro.errors.SerializationError` when *obj* is not
+    one of the allowed classes — the format is for this library's model
+    objects, not arbitrary data.
+    """
+    dotted = _dotted_class(obj)
+    if dotted not in ALLOWED_CLASSES:
+        raise SerializationError(
+            f"cannot serialize {dotted}: not a registered model/representation "
+            f"class (allowed: {', '.join(ALLOWED_CLASSES)})"
+        )
+    payload = pickle.dumps(obj, protocol=_PICKLE_PROTOCOL)
+    header = {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "class": dotted,
+        "repro_version": _repro_version(),
+        "payload_len": len(payload),
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+    }
+    header_bytes = json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+    return MAGIC + header_bytes + b"\n" + payload
+
+
+def _split(blob: bytes) -> tuple[dict, bytes]:
+    """Parse a blob into (header dict, payload bytes), checking framing."""
+    if not blob.startswith(MAGIC):
+        raise SerializationError(
+            "not a repro model blob (missing REPROMODEL magic)"
+        )
+    rest = blob[len(MAGIC) :]
+    newline = rest.find(b"\n")
+    if newline < 0:
+        raise SerializationError("truncated model blob: no header terminator")
+    try:
+        header = json.loads(rest[:newline].decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SerializationError(f"unreadable model header: {exc}") from exc
+    return header, rest[newline + 1 :]
+
+
+def peek_header(blob: bytes) -> dict:
+    """Header metadata of a blob without unpickling the payload.
+
+    Useful for listings: class, versions, and payload digest are all in
+    the header.
+    """
+    header, _ = _split(blob)
+    return header
+
+
+def content_key(blob: bytes) -> str:
+    """Content address of a blob: sha256 hex over the complete bytes."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+def from_bytes(blob: bytes, *, expect: type | None = None) -> object:
+    """Deserialize a blob, verifying schema, class, and payload digest.
+
+    Parameters
+    ----------
+    blob:
+        Bytes previously produced by :func:`to_bytes`.
+    expect:
+        Optional class the caller requires; a blob declaring a different
+        class raises instead of returning a surprising type.
+    """
+    header, payload = _split(blob)
+    if header.get("schema") != SCHEMA:
+        raise SerializationError(
+            f"unexpected blob schema {header.get('schema')!r}; expected {SCHEMA!r}"
+        )
+    if header.get("schema_version") != SCHEMA_VERSION:
+        raise SerializationError(
+            f"unsupported schema_version {header.get('schema_version')!r}; "
+            f"this build reads version {SCHEMA_VERSION}"
+        )
+    dotted = header.get("class")
+    if dotted not in ALLOWED_CLASSES:
+        raise SerializationError(
+            f"blob declares class {dotted!r}, which is not in the allowed set"
+        )
+    if header.get("payload_len") != len(payload):
+        raise SerializationError(
+            f"payload length mismatch: header says {header.get('payload_len')}, "
+            f"got {len(payload)} bytes"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.get("payload_sha256"):
+        raise SerializationError("payload sha256 mismatch: blob is corrupted")
+    module_name, _, cls_name = dotted.rpartition(".")
+    cls = getattr(importlib.import_module(module_name), cls_name)
+    if expect is not None and not issubclass(cls, expect):
+        raise SerializationError(
+            f"blob holds {dotted}, caller expected {expect.__module__}."
+            f"{expect.__qualname__}"
+        )
+    obj = pickle.loads(payload)
+    if not isinstance(obj, cls):
+        raise SerializationError(
+            f"payload unpickled to {_dotted_class(obj)}, header declared {dotted}"
+        )
+    return obj

@@ -1,0 +1,402 @@
+"""Micro-batching prediction service: the serving data plane.
+
+:class:`PredictionService` turns many concurrent ``predict`` requests
+into few batched evaluations without changing a single output bit:
+
+* **Micro-batching** — the batch loop takes the first queued request,
+  then coalesces whatever else arrives within ``batch_window_s`` (up to
+  ``max_batch``); a batch is grouped by model and executed off the
+  event loop.  Each request inside a batch still runs the *exact*
+  per-request ``predictor.predict_vector`` call a direct caller would
+  run — batching amortizes model hydration and scheduling, never the
+  math — so served predictions are bit-identical to library calls.
+* **Response cache** — an LRU keyed by the request fingerprint
+  (resolved model content key + exact probe bytes + sampling params,
+  see :func:`~repro.serving.protocol.request_fingerprint`).  Because
+  equal fingerprints imply equal answers, a cache hit can only ever
+  replay the identical response.
+* **Admission control** — at most ``queue_limit`` requests may be
+  in flight; beyond that, new requests are rejected immediately with a
+  429-style response instead of growing an unbounded queue.
+* **Deadlines** — every request carries a deadline (client-supplied or
+  ``default_deadline_s``); a request that cannot be answered in time
+  resolves to a 504-style response and its slot is reclaimed.
+
+Two execution planes are supported: ``"thread"`` (a dedicated worker
+thread in this process — the default, zero extra processes) and
+``"pool"`` (dispatch onto a persistent
+:class:`~repro.parallel.worker_pool.WorkerPool`, where each worker
+hydrates models from the shared artifact store).  Both planes run the
+same per-request code path.
+
+Metrics (``serving.*``) and the ``serving.batch`` span are documented
+in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import obs
+from ..data.dataset import RunCampaign
+from ..errors import ArtifactError, ValidationError
+from .protocol import (
+    decode_campaign,
+    encode_array,
+    error,
+    ok,
+    request_fingerprint,
+)
+from .registry import ModelRegistry
+
+__all__ = ["ServingConfig", "PredictionService"]
+
+_PLANES = ("thread", "pool")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Tunable serving policy (all knobs, no behavior).
+
+    Attributes
+    ----------
+    max_batch:
+        Largest number of requests coalesced into one batch.
+    batch_window_s:
+        How long the batch loop waits for followers after the first
+        request of a batch arrives.
+    queue_limit:
+        Admission bound: maximum requests in flight before new arrivals
+        are rejected with status 429.
+    cache_size:
+        Response-cache capacity (entries); ``cache_enabled=False``
+        bypasses the cache entirely.
+    cache_enabled:
+        Whether fingerprint-identical requests may be served from cache.
+    default_deadline_s:
+        Deadline applied when a request does not carry its own.
+    plane:
+        ``"thread"`` (in-process worker thread) or ``"pool"``
+        (dispatch onto a :class:`~repro.parallel.worker_pool.WorkerPool`).
+    n_workers:
+        Worker count for the pool plane (ignored by the thread plane).
+    """
+
+    max_batch: int = 32
+    batch_window_s: float = 0.002
+    queue_limit: int = 128
+    cache_size: int = 256
+    cache_enabled: bool = True
+    default_deadline_s: float = 5.0
+    plane: str = "thread"
+    n_workers: int = 1
+
+    def __post_init__(self) -> None:
+        """Validate ranges; raises :class:`~repro.errors.ValidationError`."""
+        if self.max_batch < 1:
+            raise ValidationError("max_batch must be >= 1")
+        if self.batch_window_s < 0.0:
+            raise ValidationError("batch_window_s must be >= 0")
+        if self.queue_limit < 1:
+            raise ValidationError("queue_limit must be >= 1")
+        if self.cache_size < 1:
+            raise ValidationError("cache_size must be >= 1")
+        if self.default_deadline_s <= 0.0:
+            raise ValidationError("default_deadline_s must be > 0")
+        if self.plane not in _PLANES:
+            raise ValidationError(f"plane must be one of {_PLANES}, got {self.plane!r}")
+        if self.n_workers < 1:
+            raise ValidationError("n_workers must be >= 1")
+
+
+@dataclass
+class _Request:
+    """One queued predict request awaiting batch execution."""
+
+    fingerprint: str
+    model_key: str
+    campaign: RunCampaign
+    n_samples: int
+    sample_seed: int
+    future: asyncio.Future = field(repr=False)
+
+
+_SHUTDOWN = object()
+
+
+class PredictionService:
+    """Async facade over the registry + batch loop (one per event loop)."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: ServingConfig | None = None,
+        *,
+        pool=None,
+    ) -> None:
+        """Create a service over *registry*; ``await start()`` before use.
+
+        A pre-built :class:`~repro.parallel.worker_pool.WorkerPool` may
+        be passed for the pool plane; otherwise one is created lazily.
+        """
+        self.registry = registry
+        self.config = config or ServingConfig()
+        self._pool = pool
+        self._cache: OrderedDict[str, dict] = OrderedDict()
+        self._queue: asyncio.Queue | None = None
+        self._batch_task: asyncio.Task | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._pending = 0
+        self._stats = {
+            "requests": 0,
+            "rejected": 0,
+            "expired": 0,
+            "errors": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "batches": 0,
+            "batched_requests": 0,
+        }
+        self._batch_sizes: dict[int, int] = {}
+
+    async def start(self) -> None:
+        """Bind to the running loop and start the batch task (idempotent)."""
+        if self._batch_task is not None:
+            return
+        self._queue = asyncio.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serving"
+        )
+        if self.config.plane == "pool" and self._pool is None:
+            from ..parallel.worker_pool import WorkerPool
+
+            self._pool = WorkerPool(self.config.n_workers)
+        self._batch_task = asyncio.get_running_loop().create_task(self._batch_loop())
+
+    async def close(self) -> None:
+        """Drain and stop the batch loop; shut down execution resources."""
+        if self._batch_task is None:
+            return
+        await self._queue.put(_SHUTDOWN)
+        await self._batch_task
+        self._batch_task = None
+        self._executor.shutdown(wait=True)
+        self._executor = None
+
+    def stats(self) -> dict:
+        """Snapshot of request/cache/batch counters (plain ints)."""
+        snapshot = dict(self._stats)
+        snapshot["pending"] = self._pending
+        snapshot["batch_size_histogram"] = {
+            str(size): count for size, count in sorted(self._batch_sizes.items())
+        }
+        return snapshot
+
+    async def submit(self, payload: dict) -> dict:
+        """Answer one predict request (validate, cache, batch, respond).
+
+        Always returns a response dict with a ``status`` field; protocol
+        and capacity problems become 4xx/5xx responses, never exceptions.
+        """
+        if self._batch_task is None:
+            await self.start()
+        self._stats["requests"] += 1
+        obs.counter("serving.requests")
+        t0 = time.perf_counter()
+        try:
+            request, deadline_s = self._parse(payload)
+        except ValidationError as exc:
+            return error(400, str(exc))
+        except ArtifactError as exc:
+            return error(404, str(exc))
+
+        if self.config.cache_enabled:
+            hit = self._cache.get(request.fingerprint)
+            if hit is not None:
+                self._cache.move_to_end(request.fingerprint)
+                self._stats["cache_hits"] += 1
+                obs.counter("serving.cache.hits")
+                obs.observe("serving.latency_s", time.perf_counter() - t0)
+                response = dict(hit)
+                response["cached"] = True
+                return response
+            self._stats["cache_misses"] += 1
+            obs.counter("serving.cache.misses")
+
+        if self._pending >= self.config.queue_limit:
+            self._stats["rejected"] += 1
+            obs.counter("serving.rejected")
+            return error(
+                429,
+                f"queue full ({self.config.queue_limit} requests in flight); "
+                "retry later",
+            )
+
+        self._pending += 1
+        obs.gauge("serving.queue_depth", self._pending)
+        await self._queue.put(request)
+        try:
+            response = await asyncio.wait_for(request.future, timeout=deadline_s)
+        except asyncio.TimeoutError:
+            self._stats["expired"] += 1
+            obs.counter("serving.expired")
+            return error(504, f"deadline of {deadline_s}s expired")
+        finally:
+            self._pending -= 1
+            obs.gauge("serving.queue_depth", self._pending)
+
+        if response.get("status") == 200 and self.config.cache_enabled:
+            self._cache[request.fingerprint] = dict(response)
+            self._cache.move_to_end(request.fingerprint)
+            while len(self._cache) > self.config.cache_size:
+                self._cache.popitem(last=False)
+        obs.observe("serving.latency_s", time.perf_counter() - t0)
+        return response
+
+    def _parse(self, payload: dict) -> tuple[_Request, float]:
+        """Validate a raw predict payload into a :class:`_Request`."""
+        if not isinstance(payload, dict):
+            raise ValidationError("request must be a JSON object")
+        model_name = payload.get("model")
+        if not isinstance(model_name, str) or not model_name:
+            raise ValidationError("request needs a 'model' tag or content key")
+        model_key = self.registry.resolve(model_name)
+        campaign = decode_campaign(payload.get("campaign"))
+        n_samples = payload.get("n_samples", 0)
+        sample_seed = payload.get("sample_seed", 0)
+        if not isinstance(n_samples, int) or n_samples < 0:
+            raise ValidationError("n_samples must be a non-negative integer")
+        if not isinstance(sample_seed, int):
+            raise ValidationError("sample_seed must be an integer")
+        deadline_s = payload.get("deadline_s", self.config.default_deadline_s)
+        if not isinstance(deadline_s, (int, float)) or deadline_s <= 0:
+            raise ValidationError("deadline_s must be a positive number")
+        fingerprint = request_fingerprint(
+            model_key, campaign, n_samples=n_samples, sample_seed=sample_seed
+        )
+        future = asyncio.get_running_loop().create_future()
+        return (
+            _Request(fingerprint, model_key, campaign, n_samples, sample_seed, future),
+            float(deadline_s),
+        )
+
+    async def _batch_loop(self) -> None:
+        """Coalesce queued requests into batches and execute them."""
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if first is _SHUTDOWN:
+                return
+            batch = [first]
+            horizon = loop.time() + self.config.batch_window_s
+            stop = False
+            while len(batch) < self.config.max_batch:
+                remaining = horizon - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(self._queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+                if item is _SHUTDOWN:
+                    stop = True
+                    break
+                batch.append(item)
+            await self._execute(batch)
+            if stop:
+                return
+
+    async def _execute(self, batch: list) -> None:
+        """Run one batch: group by model, evaluate off-loop, deliver."""
+        self._stats["batches"] += 1
+        self._stats["batched_requests"] += len(batch)
+        self._batch_sizes[len(batch)] = self._batch_sizes.get(len(batch), 0) + 1
+        obs.counter("serving.batches")
+        obs.counter("serving.batched_requests", len(batch))
+        obs.observe("serving.batch_size", len(batch))
+        groups: OrderedDict[str, list] = OrderedDict()
+        for request in batch:
+            groups.setdefault(request.model_key, []).append(request)
+        loop = asyncio.get_running_loop()
+        for model_key, requests in groups.items():
+            with obs.span(
+                "serving.batch",
+                model=model_key,
+                n_requests=len(requests),
+                plane=self.config.plane,
+            ):
+                try:
+                    responses = await loop.run_in_executor(
+                        self._executor, self._compute_group, model_key, requests
+                    )
+                except Exception as exc:  # noqa: BLE001 — batch loop must survive
+                    self._stats["errors"] += 1
+                    obs.counter("serving.errors")
+                    kind = type(exc).__name__
+                    responses = [error(500, f"{kind}: {exc}")] * len(requests)
+            for request, response in zip(requests, responses):
+                if not request.future.done():
+                    request.future.set_result(response)
+
+    def _compute_group(self, model_key: str, requests: list) -> list[dict]:
+        """Evaluate one model's requests (runs in the executor thread).
+
+        Per-request ``predict_vector`` calls, never a stacked matrix —
+        identical math to the direct library path, so served outputs are
+        bit-identical regardless of how requests were batched.
+        """
+        predictor = self.registry.load(model_key)
+        if self.config.plane == "pool":
+            encoded = self._pool.map(
+                _pool_predict_task,
+                [
+                    (str(self.registry.root), model_key, _encode_for_pool(r.campaign))
+                    for r in requests
+                ],
+            )
+            vectors = [_decode_pool_vector(text) for text in encoded]
+        else:
+            vectors = [predictor.predict_vector(r.campaign) for r in requests]
+        responses = []
+        for request, vector in zip(requests, vectors):
+            body = ok(
+                model_key=model_key,
+                representation=type(predictor.representation).__name__,
+                vector=[float(v) for v in vector],
+                cached=False,
+            )
+            if request.n_samples > 0:
+                rng = np.random.default_rng(int(request.sample_seed))
+                draws = predictor.representation.reconstruct(
+                    np.asarray(vector, dtype=np.float64)
+                ).sample(request.n_samples, rng=rng)
+                body["samples"] = encode_array(draws)
+            responses.append(body)
+        return responses
+
+
+def _encode_for_pool(campaign: RunCampaign) -> dict:
+    """Campaign wire form for pool dispatch (module-level for clarity)."""
+    from .protocol import encode_campaign
+
+    return encode_campaign(campaign)
+
+
+def _decode_pool_vector(text: str) -> np.ndarray:
+    """Decode a base64 vector returned by the pool task."""
+    from .protocol import decode_array
+
+    return decode_array(text)
+
+
+def _pool_predict_task(item):
+    """Module-level alias so pool dispatch stays picklable (CONC001)."""
+    from ._workers import predict_task
+
+    return predict_task(item)

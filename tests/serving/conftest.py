@@ -1,0 +1,34 @@
+"""Shared fixtures for the serving test suite: small fitted predictors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predictors import CrossSystemPredictor, FewRunsPredictor
+from repro.simbench import measure_all
+
+ROSTER = ("npb/bt", "npb/cg", "npb/is", "parsec/streamcluster")
+
+
+@pytest.fixture(scope="package")
+def intel_small():
+    """Four short intel campaigns (fast to fit, stable across tests)."""
+    return measure_all("intel", benchmarks=ROSTER, n_runs=60, n_workers=1)
+
+
+@pytest.fixture(scope="package")
+def amd_small():
+    """Matching amd campaigns for the cross-system predictor."""
+    return measure_all("amd", benchmarks=ROSTER, n_runs=60, n_workers=1)
+
+
+@pytest.fixture(scope="package")
+def few_runs_predictor(intel_small):
+    """A small fitted use-case-1 predictor."""
+    return FewRunsPredictor(n_probe_runs=6, n_replicas=2).fit(intel_small)
+
+
+@pytest.fixture(scope="package")
+def cross_system_predictor(intel_small, amd_small):
+    """A small fitted use-case-2 predictor."""
+    return CrossSystemPredictor(n_replicas=2).fit(intel_small, amd_small)

@@ -1,0 +1,239 @@
+"""Serialization, artifact store, and model-registry guarantees.
+
+Covers the persistence half of the serving subsystem: deterministic
+pickle round-trips (equal predictions before/after), the versioned
+``REPROMODEL1`` format's load-time schema checks, content-addressed
+storage with integrity re-hashing, and registry survival across a
+process restart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import registry as lookup
+from repro.core.predictors import CrossSystemPredictor, FewRunsPredictor
+from repro.errors import ArtifactError, SerializationError, ValidationError
+from repro.serving import ArtifactStore, ModelRegistry, from_bytes, to_bytes
+from repro.serving.serialization import MAGIC, content_key, peek_header
+
+from .conftest import ROSTER
+
+REP_NAMES = ("histogram", "pymaxent", "pearsonrnd", "quantile")
+
+
+class TestPickleRoundTrip:
+    """Satellite: plain ``pickle`` round-trips must preserve predictions."""
+
+    @pytest.mark.parametrize("name", REP_NAMES)
+    def test_representation_roundtrip_encodes_identically(self, name, intel_small):
+        rep = lookup.representation(name)
+        clone = pickle.loads(pickle.dumps(rep))
+        samples = intel_small["npb/cg"].relative_times()
+        assert np.array_equal(rep.encode(samples), clone.encode(samples))
+
+    @pytest.mark.parametrize("name", REP_NAMES)
+    def test_representation_pickle_is_deterministic(self, name):
+        rep = lookup.representation(name)
+        assert pickle.dumps(rep, protocol=5) == pickle.dumps(rep, protocol=5)
+
+    def test_few_runs_predictor_roundtrip_predicts_identically(
+        self, few_runs_predictor, intel_small
+    ):
+        clone = pickle.loads(pickle.dumps(few_runs_predictor))
+        for bench in ROSTER:
+            probe = intel_small[bench].subset(range(6))
+            assert np.array_equal(
+                clone.predict_vector(probe),
+                few_runs_predictor.predict_vector(probe),
+            )
+
+    def test_cross_system_predictor_roundtrip_predicts_identically(
+        self, cross_system_predictor, intel_small
+    ):
+        clone = pickle.loads(pickle.dumps(cross_system_predictor))
+        src = intel_small["npb/is"]
+        assert np.array_equal(
+            clone.predict_vector(src), cross_system_predictor.predict_vector(src)
+        )
+
+
+class TestVersionedFormat:
+    def test_roundtrip_preserves_predictions(self, few_runs_predictor, intel_small):
+        blob = few_runs_predictor.to_bytes()
+        clone = FewRunsPredictor.from_bytes(blob)
+        probe = intel_small["npb/bt"].subset(range(6))
+        assert np.array_equal(
+            clone.predict_vector(probe), few_runs_predictor.predict_vector(probe)
+        )
+
+    def test_bytes_are_deterministic(self, few_runs_predictor):
+        assert few_runs_predictor.to_bytes() == few_runs_predictor.to_bytes()
+
+    def test_header_is_inspectable_without_unpickling(self, few_runs_predictor):
+        header = peek_header(few_runs_predictor.to_bytes())
+        assert header["class"] == "repro.core.predictors.FewRunsPredictor"
+        assert header["schema"] == "repro.model"
+
+    def test_wrong_magic_rejected(self):
+        with pytest.raises(SerializationError, match="magic"):
+            from_bytes(b"NOTAMODEL\n{}\n")
+
+    def test_corrupted_payload_rejected(self, few_runs_predictor):
+        blob = bytearray(few_runs_predictor.to_bytes())
+        blob[-1] ^= 0xFF
+        with pytest.raises(SerializationError, match="sha256"):
+            from_bytes(bytes(blob))
+
+    def test_truncated_blob_rejected(self, few_runs_predictor):
+        blob = few_runs_predictor.to_bytes()
+        with pytest.raises(SerializationError, match="length mismatch"):
+            from_bytes(blob[: len(blob) - 10])
+
+    def test_unknown_class_rejected(self, few_runs_predictor):
+        blob = few_runs_predictor.to_bytes()
+        rest = blob[len(MAGIC) :]
+        header_line, payload = rest.split(b"\n", 1)
+        header = json.loads(header_line)
+        header["class"] = "os.system"
+        forged = (
+            MAGIC
+            + json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+            + b"\n"
+            + payload
+        )
+        with pytest.raises(SerializationError, match="not in the allowed set"):
+            from_bytes(forged)
+
+    def test_expect_class_mismatch_rejected(self, few_runs_predictor):
+        with pytest.raises(SerializationError, match="expected"):
+            from_bytes(few_runs_predictor.to_bytes(), expect=CrossSystemPredictor)
+
+    def test_arbitrary_objects_refused_at_save_time(self):
+        with pytest.raises(SerializationError, match="not a registered"):
+            to_bytes({"not": "a model"})
+
+    def test_representations_roundtrip_through_format(self, intel_small):
+        samples = intel_small["npb/is"].relative_times()
+        for name in REP_NAMES:
+            rep = lookup.representation(name)
+            clone = from_bytes(to_bytes(rep))
+            assert np.array_equal(rep.encode(samples), clone.encode(samples))
+
+
+class TestArtifactStore:
+    def test_put_get_roundtrip_and_idempotence(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.put(b"hello", meta={"kind": "demo"})
+        assert store.put(b"hello") == key
+        assert store.get(key) == b"hello"
+        assert store.has(key)
+        assert store.meta(key)["size"] == 5
+        assert store.keys() == [key]
+
+    def test_corruption_detected_on_read(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.put(b"payload")
+        path = store._object_path(key)
+        path.write_bytes(b"tampered")
+        with pytest.raises(ArtifactError, match="integrity"):
+            store.get(key)
+
+    def test_tags_resolve_and_reassign(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        k1, k2 = store.put(b"one"), store.put(b"two")
+        store.tag("prod", k1)
+        assert store.resolve("prod") == k1
+        store.tag("prod", k2)
+        assert store.resolve("prod") == k2
+        assert store.tags() == {"prod": k2}
+
+    def test_missing_artifact_and_bad_tag_name(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ArtifactError):
+            store.resolve("no-such-tag")
+        with pytest.raises(ArtifactError):
+            store.get("ab" * 32)
+        with pytest.raises(ValidationError, match="tag name"):
+            store.tag("../evil", "ab" * 32)
+
+
+class TestModelRegistry:
+    def test_save_load_identical_predictions(
+        self, tmp_path, few_runs_predictor, intel_small
+    ):
+        reg = ModelRegistry(tmp_path)
+        key = reg.save(few_runs_predictor, name="uc1")
+        fresh = ModelRegistry(tmp_path)  # cold cache: must hit disk
+        loaded = fresh.load("uc1")
+        probe = intel_small["npb/cg"].subset(range(6))
+        assert np.array_equal(
+            loaded.predict_vector(probe), few_runs_predictor.predict_vector(probe)
+        )
+        assert fresh.resolve("uc1") == key
+
+    def test_lru_serves_repeat_loads_without_rereading(self, tmp_path, few_runs_predictor):
+        reg = ModelRegistry(tmp_path)
+        key = reg.save(few_runs_predictor)
+        first = reg.load(key)
+        assert reg.load(key) is first
+
+    def test_lru_evicts_beyond_capacity(self, tmp_path, few_runs_predictor):
+        reg = ModelRegistry(tmp_path, cache_size=1)
+        key = reg.save(few_runs_predictor)
+        first = reg.load(key)
+        reg._cache.clear()
+        assert reg.load(key) is not first  # rehydrated from disk
+
+    def test_available_lists_class_and_tags(self, tmp_path, few_runs_predictor):
+        reg = ModelRegistry(tmp_path)
+        key = reg.save(few_runs_predictor, name="prod")
+        listing = reg.available()
+        assert listing[key]["class"] == "repro.core.predictors.FewRunsPredictor"
+        assert listing[key]["tags"] == ["prod"]
+
+    def test_registry_survives_process_restart(
+        self, tmp_path, few_runs_predictor, intel_small
+    ):
+        """A fresh interpreter must load the store and predict identically."""
+        reg = ModelRegistry(tmp_path)
+        reg.save(few_runs_predictor, name="uc1")
+        probe = intel_small["npb/cg"].subset(range(6))
+        expected = few_runs_predictor.predict_vector(probe)
+        script = (
+            "import sys, json, numpy as np\n"
+            "from repro.serving import ModelRegistry\n"
+            "from repro.serving.protocol import decode_campaign\n"
+            "payload = json.loads(sys.stdin.read())\n"
+            "loaded = ModelRegistry(payload['root']).load('uc1')\n"
+            "vec = loaded.predict_vector(decode_campaign(payload['campaign']))\n"
+            "print(json.dumps([float(v) for v in vec]))\n"
+        )
+        from repro.serving.protocol import encode_campaign
+
+        src_root = Path(__file__).resolve().parents[2] / "src"
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            input=json.dumps(
+                {"root": str(tmp_path), "campaign": encode_campaign(probe)}
+            ),
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(src_root)},
+            check=True,
+        )
+        restarted = np.asarray(json.loads(out.stdout), dtype=np.float64)
+        assert np.array_equal(restarted, expected)
+
+    def test_content_key_matches_store_key(self, tmp_path, few_runs_predictor):
+        reg = ModelRegistry(tmp_path)
+        key = reg.save(few_runs_predictor)
+        assert key == content_key(few_runs_predictor.to_bytes())

@@ -1,0 +1,192 @@
+"""The v2 API surface: configs, unified registry, deprecation shims.
+
+Covers the redesign contract: legacy keyword call paths keep working
+bit-identically while emitting :class:`DeprecationWarning`; the config
+path is warning-free; ``repro.registry`` subsumes the two v1 lookups
+with did-you-mean diagnostics.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    CrossSystemPredictor,
+    EvalConfig,
+    FewRunsPredictor,
+    PredictConfig,
+    evaluate_cross_system,
+    evaluate_few_runs,
+    registry,
+)
+from repro.core.representations import PearsonRndRepresentation
+from repro.errors import ValidationError
+from repro.ml.knn import KNNRegressor
+from repro.simbench import measure_all
+
+ROSTER = ("npb/bt", "npb/cg", "npb/is", "parsec/streamcluster")
+
+
+@pytest.fixture(scope="module")
+def intel_small():
+    return measure_all("intel", benchmarks=ROSTER, n_runs=60, n_workers=1)
+
+
+@pytest.fixture(scope="module")
+def amd_small():
+    return measure_all("amd", benchmarks=ROSTER, n_runs=60, n_workers=1)
+
+
+class TestRegistry:
+    def test_available_lists_both_kinds(self):
+        table = registry.available()
+        assert set(table) == {"model", "representation"}
+        assert table["model"] == ("knn", "rf", "xgboost")
+        assert "pearsonrnd" in table["representation"]
+        assert "quantile" in table["representation"]
+
+    def test_available_single_kind(self):
+        assert registry.available("model") == ("knn", "rf", "xgboost")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValidationError, match="registry kind"):
+            registry.available("nope")
+        with pytest.raises(ValidationError, match="registry kind"):
+            registry.create("nope", "knn")
+
+    def test_create_matches_kind_helpers(self):
+        assert type(registry.create("model", "knn")) is type(registry.model("knn"))
+        assert isinstance(registry.representation("pearsonrnd"), PearsonRndRepresentation)
+
+    def test_representation_kwargs_forwarded(self):
+        rep = registry.representation("quantile", n_quantiles=12)
+        assert rep.n_dims == 12
+
+    def test_model_rejects_kwargs(self):
+        with pytest.raises(ValidationError, match="no keyword"):
+            registry.create("model", "knn", metric="cosine")
+
+    def test_did_you_mean(self):
+        with pytest.raises(ValidationError, match="did you mean 'knn'"):
+            registry.model("knnn")
+        with pytest.raises(ValidationError, match="did you mean"):
+            registry.representation("pearson")
+
+    def test_cross_kind_hint(self):
+        with pytest.raises(ValidationError, match="registered representation"):
+            registry.model("pearsonrnd")
+        with pytest.raises(ValidationError, match="registered model"):
+            registry.representation("knn")
+
+    def test_names_are_case_insensitive(self):
+        assert isinstance(registry.model("XGBoost"), type(registry.model("xgboost")))
+
+
+class TestDeprecatedLookups:
+    def test_get_model_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="repro.registry.model"):
+            m = repro.get_model("knn")
+        assert isinstance(m, KNNRegressor)
+
+    def test_get_representation_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="repro.registry.representation"):
+            rep = repro.get_representation("quantile", n_quantiles=8)
+        assert rep.n_dims == 8
+
+    def test_unknown_names_still_raise_validation_error(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValidationError):
+                repro.get_model("not-a-model")
+
+
+class TestEvalConfigPath:
+    CFG = dict(representation="pearsonrnd", model="knn", n_probe_runs=6, n_replicas=2, seed=321)
+
+    def test_legacy_keywords_warn_but_match_config(self, intel_small):
+        with pytest.warns(DeprecationWarning, match="EvalConfig"):
+            legacy = evaluate_few_runs(intel_small, **self.CFG)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            v2 = evaluate_few_runs(intel_small, config=EvalConfig(**self.CFG))
+        assert np.array_equal(np.asarray(legacy["ks"]), np.asarray(v2["ks"]))
+        assert list(legacy["benchmark"]) == list(v2["benchmark"])
+
+    def test_cross_system_legacy_matches_config(self, intel_small, amd_small):
+        kwargs = dict(representation="pearsonrnd", model="knn", n_replicas=2, seed=321)
+        with pytest.warns(DeprecationWarning, match="EvalConfig"):
+            legacy = evaluate_cross_system(intel_small, amd_small, **kwargs)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            v2 = evaluate_cross_system(
+                intel_small, amd_small, config=EvalConfig(**kwargs)
+            )
+        assert np.array_equal(np.asarray(legacy["ks"]), np.asarray(v2["ks"]))
+
+    def test_mixing_config_and_legacy_keywords_is_an_error(self, intel_small):
+        with pytest.raises(ValidationError, match="not both"):
+            evaluate_few_runs(
+                intel_small, config=EvalConfig(**self.CFG), model="knn"
+            )
+
+    def test_legacy_path_requires_representation_and_model(self, intel_small):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValidationError, match="required"):
+                evaluate_few_runs(intel_small)
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            EvalConfig(n_probe_runs=0)
+        with pytest.raises(ValidationError):
+            EvalConfig(n_replicas=0)
+        with pytest.raises(ValidationError):
+            EvalConfig(n_workers=0)
+
+    def test_config_accepts_instances(self, intel_small):
+        cfg = EvalConfig(
+            representation=PearsonRndRepresentation(),
+            model=KNNRegressor(15, metric="cosine"),
+            n_probe_runs=6,
+            n_replicas=2,
+            seed=321,
+        )
+        by_name = EvalConfig(**self.CFG)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            t1 = evaluate_few_runs(intel_small, config=cfg)
+            t2 = evaluate_few_runs(intel_small, config=by_name)
+        assert np.array_equal(np.asarray(t1["ks"]), np.asarray(t2["ks"]))
+
+
+class TestPredictConfig:
+    def test_from_config_matches_legacy_constructor(self, intel_small):
+        cfg = PredictConfig(model="knn", representation="pearsonrnd", n_probe_runs=6)
+        v2 = FewRunsPredictor.from_config(cfg).fit(intel_small)
+        legacy = FewRunsPredictor(n_probe_runs=6).fit(intel_small)
+        probe = intel_small["npb/cg"].subset(range(6))
+        assert np.array_equal(v2.predict_vector(probe), legacy.predict_vector(probe))
+
+    def test_replica_default_is_per_use_case(self):
+        cfg = PredictConfig()
+        assert FewRunsPredictor.from_config(cfg).n_replicas == 8
+        assert CrossSystemPredictor.from_config(cfg).n_replicas == 4
+
+    def test_cross_system_from_config(self, intel_small, amd_small):
+        cfg = PredictConfig(model="knn", representation="pearsonrnd", n_replicas=2)
+        v2 = CrossSystemPredictor.from_config(cfg).fit(intel_small, amd_small)
+        legacy = CrossSystemPredictor(n_replicas=2).fit(intel_small, amd_small)
+        src = intel_small["npb/is"]
+        assert np.array_equal(v2.predict_vector(src), legacy.predict_vector(src))
+
+
+class TestStableSurface:
+    def test_v2_names_exported(self):
+        for name in ("EvalConfig", "PredictConfig", "registry"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_version_is_v2(self):
+        assert repro.__version__.startswith("2.")

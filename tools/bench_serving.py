@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Load harness for the prediction server.
+
+Fits a small use-case-1 model, serves it over TCP, and drives it with
+concurrent clients in two phases (response cache on, then off).  For
+every phase it records throughput, latency percentiles, the batch-size
+histogram, and cache statistics; it also verifies that every served
+vector — cached or not, under any batching — is bit-identical to a
+direct ``predict_vector`` call, which is the serving subsystem's core
+contract.
+
+Writes ``results/BENCH_serving.json``::
+
+    PYTHONPATH=src python tools/bench_serving.py
+    PYTHONPATH=src python tools/bench_serving.py --requests 400 --clients 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+ROSTER = ("npb/bt", "npb/cg", "npb/is", "parsec/streamcluster")
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "results" / "BENCH_serving.json"
+
+
+def _percentiles_ms(latencies_s: list[float]) -> dict:
+    """p50/p95/p99 of per-request latencies, in milliseconds."""
+    arr = np.asarray(latencies_s, dtype=np.float64) * 1e3
+    return {
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p95_ms": float(np.percentile(arr, 95)),
+        "p99_ms": float(np.percentile(arr, 99)),
+        "mean_ms": float(arr.mean()),
+        "max_ms": float(arr.max()),
+    }
+
+
+def run_phase(
+    registry,
+    probes: dict,
+    expected: dict,
+    *,
+    cache_enabled: bool,
+    n_requests: int,
+    n_clients: int,
+) -> dict:
+    """Drive one server configuration and return its measurements.
+
+    Every reply is checked bit-for-bit against the direct prediction for
+    its probe; a single mismatch fails the harness.
+    """
+    from repro.serving import ServerHandle, ServingClient, ServingConfig
+    from repro.serving.protocol import encode_campaign
+
+    payloads = {
+        bench: {"op": "predict", "model": "bench", "campaign": encode_campaign(p)}
+        for bench, p in probes.items()
+    }
+    benches = sorted(payloads)
+    schedule = [benches[i % len(benches)] for i in range(n_requests)]
+    shards = [schedule[i::n_clients] for i in range(n_clients)]
+    latencies: list[list[float]] = [[] for _ in range(n_clients)]
+    mismatches: list[str] = []
+    failures: list[str] = []
+
+    config = ServingConfig(cache_enabled=cache_enabled, batch_window_s=0.002)
+    with ServerHandle(registry, config) as server:
+
+        def client_loop(slot: int) -> None:
+            try:
+                with ServingClient("127.0.0.1", server.port) as client:
+                    for bench in shards[slot]:
+                        t0 = time.perf_counter()
+                        reply = client.request(payloads[bench])
+                        latencies[slot].append(time.perf_counter() - t0)
+                        if reply.get("status") != 200:
+                            failures.append(f"{bench}: {reply}")
+                        elif not np.array_equal(
+                            np.asarray(reply["vector"], dtype=np.float64),
+                            expected[bench],
+                        ):
+                            mismatches.append(bench)
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                failures.append(f"client {slot}: {type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=client_loop, args=(slot,))
+            for slot in range(n_clients)
+        ]
+        wall0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - wall0
+        stats = server.service.stats()
+
+    if failures:
+        raise RuntimeError(f"serving failures: {failures[:5]}")
+    if mismatches:
+        raise RuntimeError(
+            f"served vectors diverged from direct predictions: {sorted(set(mismatches))}"
+        )
+
+    flat = [x for shard in latencies for x in shard]
+    hits, misses = stats["cache_hits"], stats["cache_misses"]
+    lookups = hits + misses
+    return {
+        "cache_enabled": cache_enabled,
+        "n_requests": n_requests,
+        "n_clients": n_clients,
+        "wall_s": wall,
+        "throughput_rps": n_requests / wall,
+        "latency": _percentiles_ms(flat),
+        "batch_size_histogram": stats["batch_size_histogram"],
+        "batches": stats["batches"],
+        "batched_requests": stats["batched_requests"],
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_rate": (hits / lookups) if lookups else 0.0,
+        "rejected": stats["rejected"],
+        "expired": stats["expired"],
+        "bit_identical": True,
+    }
+
+
+def main(argv=None) -> int:
+    """Fit, serve, drive, verify, and write the benchmark JSON."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=600)
+    parser.add_argument("--clients", type=int, default=6)
+    parser.add_argument("--n-runs", type=int, default=60)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    from repro.core.predictors import FewRunsPredictor
+    from repro.serving import ModelRegistry
+    from repro.simbench import measure_all
+
+    print(f"fitting model on {len(ROSTER)} campaigns x {args.n_runs} runs ...")
+    campaigns = measure_all("intel", benchmarks=ROSTER, n_runs=args.n_runs, n_workers=1)
+    predictor = FewRunsPredictor(n_probe_runs=6, n_replicas=2).fit(campaigns)
+    probes = {bench: campaigns[bench].subset(range(6)) for bench in ROSTER}
+    expected = {bench: predictor.predict_vector(p) for bench, p in probes.items()}
+
+    phases = {}
+    with tempfile.TemporaryDirectory() as model_root:
+        registry = ModelRegistry(model_root)
+        registry.save(predictor, name="bench")
+        for label, cache_enabled in (("cache_on", True), ("cache_off", False)):
+            print(f"phase {label}: {args.requests} requests / {args.clients} clients ...")
+            phases[label] = run_phase(
+                registry,
+                probes,
+                expected,
+                cache_enabled=cache_enabled,
+                n_requests=args.requests,
+                n_clients=args.clients,
+            )
+            print(
+                f"  {phases[label]['throughput_rps']:.0f} req/s, "
+                f"p95 {phases[label]['latency']['p95_ms']:.2f} ms, "
+                f"hit rate {phases[label]['cache_hit_rate']:.2f}"
+            )
+
+    report = {
+        "schema": "repro.bench_serving",
+        "version": 1,
+        "model": "FewRunsPredictor(knn, pearsonrnd)",
+        "grid": {"benchmarks": list(ROSTER), "n_runs": args.n_runs, "n_probe_runs": 6},
+        "phases": phases,
+        "bit_identical_cache_on_and_off": True,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+
+    floor = 200.0
+    slowest = min(p["throughput_rps"] for p in phases.values())
+    if slowest < floor:
+        print(f"WARNING: throughput {slowest:.0f} req/s below the {floor:.0f} req/s target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
