@@ -25,6 +25,7 @@ __all__ = [
     "ShmLifecycleRule",
     "RawSegmentRule",
     "SharedViewMutationRule",
+    "RawMatrixPublishRule",
 ]
 
 
@@ -203,6 +204,74 @@ class RawSegmentRule(Rule):
                     "raw SharedMemory(create=True) outside repro.parallel.shm; "
                     "publish through a SharedArrayStore so the segment is "
                     "always unlinked",
+                )
+
+
+#: Call-chain tails that bind a binned (uint8) encoding of their first
+#: positional argument.
+_BINNING_TAILS = {"fit_transform", "_binned_matrix"}
+
+
+@register
+class RawMatrixPublishRule(Rule):
+    """Publish the uint8 codes, not the float64 matrix they encode."""
+
+    rule_id = "CONC005"
+    name = "raw-matrix-publish"
+    rationale = (
+        "once a matrix has a binned uint8 encoding, shipping the float64 "
+        "original through the shared-memory plane moves ~8x the bytes per "
+        "worker for no information the histogram kernel can use; publish "
+        "the BinnedMatrix codes and bin bounds instead."
+    )
+
+    def applies_to(self, source: SourceFile) -> bool:
+        """Everywhere — dispatch helpers live in several trees."""
+        return _parsed(source)
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        """Flag ``publish(X)`` where the same function also binned ``X``."""
+        # Per enclosing function: names whose binned encoding was bound
+        # there via `binned = <BinMapper()>.fit_transform(X)` or the
+        # engine's `self._binned_matrix(X, key)` cache accessor.
+        binned_sources: dict[ast.AST | None, set[str]] = {}
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+                continue
+            # Tail of the callee even through a call receiver, so
+            # `BinMapper().fit_transform(X)` matches too.
+            func = node.value.func
+            tail = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else None
+            )
+            if tail not in _BINNING_TAILS:
+                continue
+            arg = first_arg(node.value)
+            if isinstance(arg, ast.Name):
+                scope = enclosing_function(node, source.parent)
+                binned_sources.setdefault(scope, set()).add(arg.id)
+        if not binned_sources:
+            return
+        for node in ast.walk(source.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "publish"
+            ):
+                continue
+            arg = first_arg(node)
+            if not isinstance(arg, ast.Name):
+                continue
+            scope = enclosing_function(node, source.parent)
+            if arg.id in binned_sources.get(scope, ()):
+                yield self.finding(
+                    source,
+                    node,
+                    f"`{arg.id}` has a binned uint8 encoding in this scope "
+                    "but the float64 matrix is published to the pool; ship "
+                    "the BinnedMatrix codes/bounds instead",
                 )
 
 

@@ -43,8 +43,6 @@ ALLOWLIST: frozenset[str] = frozenset(
         "repro/core/representations.py:HistogramRepresentation.reconstruct",
         "repro/core/representations.py:PearsonRndRepresentation.reconstruct",
         "repro/core/representations.py:PyMaxEntRepresentation.reconstruct",
-        "repro/ml/boosting.py:GradientBoostingRegressor.fit",
-        "repro/ml/forest.py:RandomForestRegressor.fit",
         "repro/ml/knn.py:KNNRegressor.fit",
         "repro/ml/model_selection.py:GroupKFold.get_n_splits",
         "repro/ml/model_selection.py:GroupKFold.split",

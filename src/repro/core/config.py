@@ -121,6 +121,13 @@ class EvalConfig:
     n_workers:
         Fold-dispatch process count (1 = serial; results are
         bit-identical at any value).
+    tree_method:
+        Split-search kernel of the tree-based models: ``"exact"``
+        (default; bit-stable reference path) or ``"hist"``
+        (pre-binned histogram fast path, see :mod:`repro.ml.hist`).
+        Applied to registry-name models that expose the knob; ignored
+        by ``"knn"`` and by concrete model instances (which carry their
+        own setting).
     """
 
     representation: object = "pearsonrnd"
@@ -130,6 +137,7 @@ class EvalConfig:
     feature_config: FeatureConfig | None = None
     seed: int = DEFAULT_EVAL_SEED
     n_workers: int = 1
+    tree_method: str = "exact"
 
     def __post_init__(self) -> None:
         """Validate the knobs that are cheap to check eagerly."""
@@ -139,18 +147,42 @@ class EvalConfig:
             raise ValidationError("n_replicas must be >= 1")
         if self.n_workers < 1:
             raise ValidationError("n_workers must be >= 1")
+        from ..ml.tree import check_tree_method
+
+        check_tree_method(self.tree_method)
 
     def resolve_model(self):
-        """Fresh model instance for this config."""
-        return _resolve_model(self.model)
+        """Fresh model instance for this config.
+
+        For registry names, ``tree_method`` is applied post-construction
+        when the model exposes the knob (it is a constructor parameter,
+        so clones keep it); concrete instances pass through untouched.
+        """
+        model = _resolve_model(self.model)
+        if (
+            isinstance(self.model, str)
+            and self.tree_method != "exact"
+            and hasattr(model, "tree_method")
+        ):
+            model.tree_method = self.tree_method
+        return model
 
     def resolve_representation(self):
         """Representation instance for this config."""
         return _resolve_representation(self.representation)
 
     def model_key(self) -> str | None:
-        """Memo key for the engine's fold-vector cache (names only)."""
-        return self.model.lower() if isinstance(self.model, str) else None
+        """Memo key for the engine's fold-vector cache (names only).
+
+        A non-default ``tree_method`` is part of the key: hist and exact
+        fits of the same registry model are distinct cache entries.
+        """
+        if not isinstance(self.model, str):
+            return None
+        name = self.model.lower()
+        if self.tree_method != "exact" and name != "knn":
+            return f"{name}+{self.tree_method}"
+        return name
 
     def replicas(self, default: int) -> int:
         """``n_replicas`` with the use case's *default* filled in."""

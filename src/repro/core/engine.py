@@ -54,6 +54,8 @@ from .._validation import check_positive_int, check_random_state
 from ..data.dataset import RunCampaign
 from ..errors import ValidationError
 from ..ml.base import Regressor
+from ..ml.binning import BinMapper, BinnedMatrix
+from ..ml.boosting import GradientBoostingRegressor, can_lockstep, fit_predict_folds
 from ..ml.scaling import RobustScaler
 from ..parallel.seeding import seed_for
 from ..parallel.shm import attach
@@ -101,6 +103,64 @@ def _fit_predict_fold_shm(task) -> np.ndarray:
     return model.clone().fit(Xs, Y[mask]).predict(xp)[0]
 
 
+def _fit_predict_fold_hist(task) -> np.ndarray:
+    """Binned-plane pickling variant of :func:`_fit_predict_fold`.
+
+    ``task`` is ``(model, fold_binned, Y_train, x_probe_scaled)`` where
+    ``fold_binned`` already carries the fold's training rows with bounds
+    re-expressed in its scaled feature space, so the worker fits X-free.
+    """
+    model, fb, Ys, xp = task
+    return model.clone().fit_binned(fb, Ys).predict(xp)[0]
+
+
+def _fit_predict_fold_hist_shm(task) -> np.ndarray:
+    """Zero-copy binned plane: fit from shared uint8 codes.
+
+    ``task`` ships the shared-array refs of the full binned matrix
+    (codes, per-feature bin counts and bounds) plus ``Y``/``groups``,
+    the held-out benchmark, the raw probe row and the parent-fitted
+    scaler parameters.  The worker rebuilds the fold's
+    :class:`~repro.ml.binning.BinnedMatrix` — codes are invariant under
+    the per-fold robust scaling, only the bounds move — and fits without
+    ever touching the float64 feature matrix.
+    """
+    (model, c_ref, nb_ref, lo_ref, hi_ref, y_ref, g_ref,
+     bench, probe, center, scale) = task
+    binned = BinnedMatrix(
+        codes=attach(c_ref),
+        n_bins=attach(nb_ref),
+        lo=attach(lo_ref),
+        hi=attach(hi_ref),
+    )
+    Y = attach(y_ref)
+    groups = attach(g_ref)
+    mask = groups != bench
+    fb = binned.scaled(center, scale).take_rows(mask)
+    scaler = RobustScaler()
+    scaler.center_ = center
+    scaler.scale_ = scale
+    xp = scaler.transform(probe[None, :])
+    return model.clone().fit_binned(fb, Y[mask]).predict(xp)[0]
+
+
+def _hist_model(model: Regressor) -> bool:
+    """Whether *model* trains on the pre-binned histogram path."""
+    return getattr(model, "tree_method", None) == "hist"
+
+
+def _hist_dispatchable(model: Regressor) -> bool:
+    """Whether a hist model can fit X-free in a pool worker.
+
+    Boosting needs the raw matrix when row subsampling is on (the
+    running-prediction update walks rows the round never trained on);
+    everything else with a ``fit_binned`` entry point ships as codes.
+    """
+    if isinstance(model, GradientBoostingRegressor):
+        return model.subsample == 1.0  # repro: noqa[DET005]
+    return hasattr(model, "fit_binned")
+
+
 def _wants_serial(model: Regressor) -> bool:
     """Whether fold dispatch must stay serial to preserve results.
 
@@ -122,6 +182,7 @@ def logo_fold_vectors(
     n_workers: int = 1,
     scaled_folds: dict | None = None,
     pool: WorkerPool | None = None,
+    binned: BinnedMatrix | None = None,
 ) -> dict[str, np.ndarray]:
     """Predicted representation vector per held-out benchmark.
 
@@ -141,11 +202,25 @@ def logo_fold_vectors(
     plane is available, ``X``/``Y``/``groups`` are published once and
     fold tasks ship only descriptors (see :func:`_fit_predict_fold_shm`).
 
+    For a hist-mode model (``model.tree_method == "hist"``), ``binned``
+    optionally supplies the pre-binned matrix of ``X`` (the engine's
+    designs cache one per encoding); when absent it is built here.  The
+    per-fold training matrix is then derived by re-expressing the bin
+    bounds through the fold's scaler (codes are scale-invariant), so
+    the one-time binning pass is shared by every fold, and — for a
+    boosting model that satisfies :func:`~repro.ml.boosting.can_lockstep`
+    — all folds' round-``r`` trees grow as one batch in-process
+    regardless of ``n_workers`` (the batch kernel replaces fold-level
+    process fan-out).
+
     Results are bit-identical for any ``n_workers``, with or without a
     persistent pool, on either dispatch plane: each fold consumes only
     its own inputs and a deterministic model clone.
     """
     names = sorted(probe_features)
+    hist = _hist_model(model)
+    if hist and binned is None:
+        binned = BinMapper().fit_transform(X)
     folds = []
     for bench in names:
         cached = None if scaled_folds is None else scaled_folds.get(bench)
@@ -165,19 +240,46 @@ def logo_fold_vectors(
             obs.counter("engine.scaled_folds.hits")
         folds.append(cached)
     obs.counter("engine.folds.fitted", len(folds))
-    if n_workers == 1 or _wants_serial(model):
+    if hist and can_lockstep(model, [f[2] for f in folds]):
+        # Lockstep beats fold-level process fan-out here (one kernel
+        # call covers every fold), so it runs in-process for any
+        # n_workers — which also makes worker-count invariance trivial.
+        lockstep_folds = [
+            (mask, scaler.center_, scaler.scale_, xp[0])
+            for (_Xs, xp, mask, scaler) in folds
+        ]
+        with obs.span("fold_batch", n_folds=len(folds), n_workers=1,
+                      plane="lockstep"):
+            preds = fit_predict_folds(model, binned, Y, lockstep_folds)
+        return dict(zip(names, preds))
+    if (
+        n_workers == 1
+        or _wants_serial(model)
+        or (hist and not _hist_dispatchable(model))
+    ):
         vectors = []
-        for bench, (Xs, xp, mask, _scaler) in zip(names, folds):
+        for bench, (Xs, xp, mask, scaler) in zip(names, folds):
             with obs.span("fold", benchmark=bench):
-                vectors.append(_fit_predict_fold((model, Xs, Y[mask], xp)))
+                if hist:
+                    fb = binned.scaled(
+                        scaler.center_, scaler.scale_
+                    ).take_rows(mask)
+                    vectors.append(
+                        model.clone().fit(Xs, Y[mask], binned=fb).predict(xp)[0]
+                    )
+                else:
+                    vectors.append(_fit_predict_fold((model, Xs, Y[mask], xp)))
         return dict(zip(names, vectors))
+    hist_binned = binned if hist else None
     if pool is not None:
         vectors = _dispatch_folds(pool, model, X, Y, groups, names, folds,
-                                  probe_features, n_workers)
+                                  probe_features, n_workers,
+                                  binned=hist_binned)
     else:
         with WorkerPool(n_workers) as transient:
             vectors = _dispatch_folds(transient, model, X, Y, groups, names,
-                                      folds, probe_features, n_workers)
+                                      folds, probe_features, n_workers,
+                                      binned=hist_binned)
     return dict(zip(names, vectors))
 
 
@@ -191,12 +293,23 @@ def _dispatch_folds(
     folds: list[tuple],
     probe_features: dict[str, np.ndarray],
     n_workers: int,
+    binned: BinnedMatrix | None = None,
 ) -> list[np.ndarray]:
     """Fan folds out through *pool*, zero-copy when shared memory works.
 
-    Publication failures (shm mount vanished mid-run) degrade to the
-    pickling plane; both planes produce bit-identical vectors.
+    With ``binned`` (hist-mode models), the published payload is the
+    uint8 code matrix plus its bin bounds instead of the float64
+    features — codes are 8x smaller than ``X`` and the bounds cap at
+    ``max_bins`` rows per feature, so the published bytes stop scaling
+    with row count.  Publication failures (shm mount vanished mid-run)
+    degrade to the pickling plane; all planes produce bit-identical
+    vectors.
     """
+    if binned is not None:
+        return _dispatch_folds_hist(
+            pool, model, binned, Y, groups, names, folds, probe_features,
+            n_workers,
+        )
     store = pool.shm
     refs = None
     if store is not None:
@@ -226,11 +339,84 @@ def _dispatch_folds(
         return pool.map(fold_fn, tasks)
 
 
+def _dispatch_folds_hist(
+    pool: WorkerPool,
+    model: Regressor,
+    binned: BinnedMatrix,
+    Y: np.ndarray,
+    groups: np.ndarray,
+    names: list[str],
+    folds: list[tuple],
+    probe_features: dict[str, np.ndarray],
+    n_workers: int,
+) -> list[np.ndarray]:
+    """Binned-plane fold fan-out: workers fit from shared uint8 codes."""
+    store = pool.shm
+    refs = None
+    if store is not None:
+        try:
+            refs = (
+                store.publish(binned.codes),
+                store.publish(binned.n_bins),
+                store.publish(binned.lo),
+                store.publish(binned.hi),
+                store.publish(Y),
+                store.publish(groups),
+            )
+        except Exception:
+            refs = None
+    if refs is not None:
+        c_ref, nb_ref, lo_ref, hi_ref, y_ref, g_ref = refs
+        tasks = []
+        saved = 0
+        bounds_bytes = binned.n_bins.nbytes + binned.lo.nbytes + binned.hi.nbytes
+        for bench, (_Xs, xp, mask, scaler) in zip(names, folds):
+            tasks.append(
+                (model, c_ref, nb_ref, lo_ref, hi_ref, y_ref, g_ref,
+                 bench, probe_features[bench], scaler.center_, scaler.scale_)
+            )
+            m = int(mask.sum())
+            saved += (
+                m * binned.n_features * binned.codes.itemsize
+                + bounds_bytes
+                + m * Y.shape[1] * Y.itemsize
+                + xp.nbytes
+            )
+        obs.counter("pool.shm_bytes_saved", saved)
+        fold_fn, plane = _fit_predict_fold_hist_shm, "hist-shm"
+    else:
+        tasks = []
+        for bench, (_Xs, xp, mask, scaler) in zip(names, folds):
+            fb = binned.scaled(scaler.center_, scaler.scale_).take_rows(mask)
+            tasks.append((model, fb, Y[mask], xp))
+        fold_fn, plane = _fit_predict_fold_hist, "hist-pickle"
+    with obs.span("fold_batch", n_folds=len(tasks), n_workers=n_workers,
+                  plane=plane):
+        return pool.map(fold_fn, tasks)
+
+
 class _VectorCacheMixin:
     """Memoized (encoding, model) -> fold-prediction vectors."""
 
     def __init__(self) -> None:
         self._fold_vectors: dict[tuple[str, str], dict[str, np.ndarray]] = {}
+        self._binned: dict[str, BinnedMatrix] = {}
+
+    def _binned_matrix(self, X: np.ndarray, key: str) -> BinnedMatrix:
+        """Pre-binned *X*, cached next to the fold-vector memo.
+
+        One :class:`~repro.ml.binning.BinMapper` fit per (X, encoding):
+        every tree, boosting round and LOGO fold of every hist-mode cell
+        with the same feature rows shares the codes.
+        """
+        hit = self._binned.get(key)
+        if hit is not None:
+            obs.counter("binning.cache_hits")
+            return hit
+        obs.counter("binning.cache_misses")
+        binned = BinMapper().fit_transform(X)
+        self._binned[key] = binned
+        return binned
 
     def fold_vectors(
         self,
@@ -347,6 +533,9 @@ class FewRunsDesign(_VectorCacheMixin):
         return self.X, self.target_matrix(representation), self.groups
 
     def _compute_fold_vectors(self, model, representation, *, n_workers, pool):
+        # Use case 1 has one feature matrix for every encoding, so a
+        # single binned cache entry covers the whole grid.
+        binned = self._binned_matrix(self.X, "uc1") if _hist_model(model) else None
         return logo_fold_vectors(
             self.X,
             self.target_matrix(representation),
@@ -356,6 +545,7 @@ class FewRunsDesign(_VectorCacheMixin):
             n_workers=n_workers,
             scaled_folds=self._scaled_folds,
             pool=pool,
+            binned=binned,
         )
 
 
@@ -454,6 +644,13 @@ class CrossSystemDesign(_VectorCacheMixin):
 
     def _compute_fold_vectors(self, model, representation, *, n_workers, pool):
         X, Y, probe, folds = self._encoded(representation)
+        # Use case 2's feature rows embed the encoded source
+        # distribution, so the binned matrix is per encoding.
+        binned = (
+            self._binned_matrix(X, representation.encoding_key)
+            if _hist_model(model)
+            else None
+        )
         return logo_fold_vectors(
             X,
             Y,
@@ -463,4 +660,5 @@ class CrossSystemDesign(_VectorCacheMixin):
             n_workers=n_workers,
             scaled_folds=folds,
             pool=pool,
+            binned=binned,
         )

@@ -40,6 +40,9 @@ class ExperimentConfig:
         Seed for probe sampling / KS draws inside evaluations.
     n_workers:
         Process count for measurement sweeps (1 = serial).
+    tree_method:
+        Split-search kernel for the tree-based grid models: ``"exact"``
+        (reference path, default) or ``"hist"`` (pre-binned fast path).
     """
 
     benchmarks: tuple[str, ...] = field(default_factory=benchmark_names)
@@ -53,6 +56,22 @@ class ExperimentConfig:
     root_seed: int = 777
     eval_seed: int = 616161
     n_workers: int = 1
+    tree_method: str = "exact"
+
+    def resolve_grid_model(self, name: str):
+        """(model instance, fold-vector memo key) for one grid cell.
+
+        Applies ``tree_method`` to registry models that expose the knob
+        and folds it into the memo key, so hist and exact fits of the
+        same model never share a cache entry.
+        """
+        from .. import registry
+
+        model = registry.model(name)
+        if self.tree_method != "exact" and hasattr(model, "tree_method"):
+            model.tree_method = self.tree_method
+            return model, f"{name}+{self.tree_method}"
+        return model, name
 
     def scaled_down(self, *, n_benchmarks: int = 16, n_runs: int = 300) -> "ExperimentConfig":
         """A cheaper variant for tests/CI: fewer benchmarks and runs."""

@@ -82,12 +82,13 @@ def representation_model_grid(
         for rep_name in config.representations:
             rep = registry.representation(rep_name)
             for model_name in config.models:
+                model, model_key = config.resolve_grid_model(model_name)
                 with obs.span("cell", representation=rep_name, model=model_name):
                     with timer.time("fit"):
                         vectors = design.fold_vectors(
-                            registry.model(model_name),
+                            model,
                             rep,
-                            model_key=model_name,
+                            model_key=model_key,
                             n_workers=config.n_workers,
                             pool=pool,
                         )

@@ -15,9 +15,10 @@ import numpy as np
 
 from .. import obs
 from .._validation import check_positive_int, check_random_state
+from ..errors import ValidationError
 from ..parallel.pool import parallel_map
 from .base import Regressor, validate_fit_inputs
-from .tree import RegressionTree
+from .tree import RegressionTree, check_tree_method, n_candidate_features
 
 __all__ = ["RandomForestRegressor"]
 
@@ -63,6 +64,14 @@ class RandomForestRegressor(Regressor):
         ``None`` = :func:`repro.parallel.pool.default_workers`).  Any
         value yields bit-identical forests because each tree is a pure
         function of its pre-spawned seed stream.
+    tree_method:
+        ``"exact"`` (default) fits each tree with the per-node sorted
+        scan; ``"hist"`` bins the matrix once and grows *all* trees as
+        one level-wise batch on the shared uint8 codes
+        (:mod:`repro.ml.hist`) — the batch kernel amortizes per-node
+        NumPy overhead across the whole forest, so the hist path runs
+        in-process and ignores ``n_jobs``.  Joint growth is bit-identical
+        to growing each tree solo from its spawned stream.
     """
 
     def __init__(
@@ -76,6 +85,7 @@ class RandomForestRegressor(Regressor):
         bootstrap: bool = True,
         rng=None,
         n_jobs: int | None = 1,
+        tree_method: str = "exact",
     ) -> None:
         self.n_estimators = check_positive_int(n_estimators, name="n_estimators")
         self.max_depth = max_depth
@@ -85,8 +95,90 @@ class RandomForestRegressor(Regressor):
         self.bootstrap = bootstrap
         self.rng = rng
         self.n_jobs = n_jobs
+        self.tree_method = check_tree_method(tree_method)
 
-    def fit(self, X, y) -> "RandomForestRegressor":
+    def _fit_hist(self, yv, seeds, binned) -> None:
+        """Grow the whole forest as one batch on pre-binned codes."""
+        from .hist import TreeSpec, grow_trees
+
+        n, d = binned.n_rows, binned.n_features
+        k = yv.shape[1]
+        specs = []
+        for seq in seeds:
+            # Same stream discipline as _fit_one_tree: the spawned
+            # generator draws the bootstrap rows first, then feeds the
+            # tree's per-node candidate draws.
+            tree_rng = np.random.default_rng(seq)
+            rows = (
+                tree_rng.integers(0, n, size=n)
+                if self.bootstrap
+                else np.arange(n)
+            )
+            specs.append(TreeSpec(rows=rows, rng=tree_rng))
+        timing = obs.enabled()
+        grown, stats = grow_trees(
+            binned,
+            yv.astype(np.float32),
+            yv,
+            specs,
+            n_cand=n_candidate_features(self.max_features, d),
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            timing=timing,
+        )
+        trees = []
+        for g in grown:
+            t = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                tree_method="hist",
+            )
+            t._adopt_grown(g, d, k)
+            trees.append(t)
+        self.trees_ = trees
+        if timing:
+            obs.counter("tree.fits", len(grown))
+            obs.counter("tree.nodes", stats.nodes)
+            obs.counter("tree.hist_nodes", stats.nodes)
+            obs.observe("tree.split_search_s", stats.split_s)
+            obs.observe("tree.leaf_s", stats.leaf_s)
+
+    def fit_binned(self, binned, y) -> "RandomForestRegressor":
+        """Fit from a :class:`~repro.ml.binning.BinnedMatrix` alone.
+
+        The X-free entry point of the ``tree_method="hist"`` path: pool
+        workers receive the shared uint8 codes plus bin bounds instead
+        of the float64 feature matrix and fit directly from them.
+        Bit-identical to ``fit(X, y, binned=binned)``.
+        """
+        if self.tree_method != "hist":
+            raise ValidationError("fit_binned requires tree_method='hist'")
+        from .base import validate_binned_targets
+
+        yv = validate_binned_targets(binned, y)
+        gen = check_random_state(self.rng)
+        seeds = np.random.SeedSequence(gen.integers(0, 2**63 - 1)).spawn(
+            self.n_estimators
+        )
+        timing = obs.enabled()
+        t_fit = time.perf_counter() if timing else 0.0
+        with obs.span(
+            "forest.fit", n_estimators=self.n_estimators, n_jobs=self.n_jobs or 0
+        ):
+            self._fit_hist(yv, seeds, binned)
+        if timing:
+            obs.counter("forest.fits")
+            obs.observe("forest.fit_s", time.perf_counter() - t_fit)
+        self.n_features_ = binned.n_features
+        self.n_outputs_ = yv.shape[1]
+        return self
+
+    def fit(self, X, y, binned=None) -> "RandomForestRegressor":
+        """Fit the forest; ``binned`` optionally supplies the pre-binned
+        matrix of *X* for the ``tree_method="hist"`` path."""
         Xv, yv = validate_fit_inputs(X, y)
         gen = check_random_state(self.rng)
         # One spawned seed per tree keeps trees independent and the whole
@@ -95,27 +187,41 @@ class RandomForestRegressor(Regressor):
         seeds = np.random.SeedSequence(gen.integers(0, 2**63 - 1)).spawn(
             self.n_estimators
         )
-        fit_tree = partial(
-            _fit_one_tree,
-            Xv,
-            yv,
-            {
-                "max_depth": self.max_depth,
-                "min_samples_split": self.min_samples_split,
-                "min_samples_leaf": self.min_samples_leaf,
-                "max_features": self.max_features,
-            },
-            self.bootstrap,
-        )
         timing = obs.enabled()
         t_fit = time.perf_counter() if timing else 0.0
         with obs.span(
             "forest.fit", n_estimators=self.n_estimators, n_jobs=self.n_jobs or 0
         ):
-            if self.n_jobs == 1:
-                self.trees_ = [fit_tree(seq) for seq in seeds]
+            if self.tree_method == "hist":
+                if binned is None:
+                    from .binning import BinMapper
+
+                    binned = BinMapper().fit_transform(Xv)
+                elif (binned.n_rows, binned.n_features) != Xv.shape:
+                    raise ValidationError(
+                        f"binned matrix is "
+                        f"{(binned.n_rows, binned.n_features)}, X is {Xv.shape}"
+                    )
+                self._fit_hist(yv, seeds, binned)
             else:
-                self.trees_ = parallel_map(fit_tree, seeds, n_workers=self.n_jobs)
+                fit_tree = partial(
+                    _fit_one_tree,
+                    Xv,
+                    yv,
+                    {
+                        "max_depth": self.max_depth,
+                        "min_samples_split": self.min_samples_split,
+                        "min_samples_leaf": self.min_samples_leaf,
+                        "max_features": self.max_features,
+                    },
+                    self.bootstrap,
+                )
+                if self.n_jobs == 1:
+                    self.trees_ = [fit_tree(seq) for seq in seeds]
+                else:
+                    self.trees_ = parallel_map(
+                        fit_tree, seeds, n_workers=self.n_jobs
+                    )
         if timing:
             obs.counter("forest.fits")
             obs.observe("forest.fit_s", time.perf_counter() - t_fit)

@@ -1,0 +1,587 @@
+"""Level-wise histogram split kernel for pre-binned regression trees.
+
+The exact kernel in :mod:`repro.ml.tree` re-sorts every candidate column
+and rebuilds an ``(n, f, k)`` cumulative tensor at every node; on the
+small-n / many-node workloads of the Fig. 4 grid its cost is dominated
+by per-node NumPy call overhead and slow per-axis scans.  This module
+grows *all* frontier nodes of a batch of trees one level at a time on
+the shared uint8 codes of a :class:`~repro.ml.binning.BinnedMatrix`:
+
+* **Entries** — each active ``(row, candidate-feature)`` pair is one
+  entry.  Entries are kept sorted by ``(node, feature, bin code)``;
+  within that order, the rank of a row inside its ``(node, feature)``
+  segment is exactly its position in the exact kernel's per-node sorted
+  scan.
+* **Order propagation** — with a full candidate set (boosting trees),
+  the sorted entry order of a child node is a stable subsequence of its
+  parent's, so after a one-time per-feature argsort of the codes
+  (:func:`feature_code_order`, shared across all rounds of a boosting
+  fit) no level ever sorts again: children entry arrays are produced by
+  a computed integer scatter.  With per-node candidate draws (random
+  forests) each level builds unique int32 keys and quicksorts them.
+* **Rectangular scan** — entries scatter into a zero-padded
+  ``(max_rank, segments, k)`` float32 rect whose *leading* axis is the
+  within-segment rank, so the prefix scan is ``max_rank`` contiguous
+  SIMD row-adds instead of a strided ``cumsum``; left/right SSE scores
+  come from two einsums over the rect plus small ``(rank, segment)``
+  arithmetic.  Nodes are bucketed by size so one huge sibling does not
+  pad the whole level.
+* **Split selection** — candidate positions are occupied-bin
+  boundaries; ties are broken position-major (lowest candidate position
+  first, then lowest feature position), matching the exact kernel's
+  flat argmin, and thresholds are midpoints of the adjacent bins' raw
+  value bounds with the exact kernel's rounding guard.  On losslessly
+  binned data (every feature with at most ``max_bins`` distinct values)
+  the scored quantities are the same sums the exact kernel forms, so
+  trees agree whenever float32 association noise cannot flip a
+  comparison — bit-for-bit on exactly representable (small integer)
+  targets.
+
+Counts are exact integers throughout; only target sums are float32.
+The kernel is deterministic for a given batch composition: the callers
+always grow a forest's trees as one joint batch and a boosting round as
+one single-tree batch, so results do not depend on worker count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = [
+    "TreeSpec",
+    "GrownTree",
+    "GrowStats",
+    "grow_trees",
+    "feature_code_order",
+    "rebind_thresholds",
+]
+
+#: Max |y - y0| under which a node is pure (matches the exact kernel).
+_PURITY_ATOL = 1e-15
+
+#: Node-size class edges for scoring buckets: nodes are grouped by the
+#: power of two covering their row count, bounding rect padding at 2x.
+_POW2 = 2 ** np.arange(1, 32)
+
+#: Code-axis stride used for rf-mode sort keys (uint8 codes => 256).
+_KEY_STRIDE = 256
+
+#: Tie-break sentinel for the boundary argmin.
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+@dataclass(frozen=True)
+class TreeSpec:
+    """One tree to grow: its training rows (with bootstrap multiplicity)
+    and, for per-node candidate draws, its random generator."""
+
+    rows: np.ndarray
+    rng: object | None = None
+
+
+@dataclass(frozen=True)
+class GrownTree:
+    """Flat arrays of a grown tree (same layout as the exact kernel).
+
+    ``bin_left`` / ``bin_right`` keep the bin codes flanking each split's
+    winning boundary (-1 on leaves).  Because codes are invariant under
+    any positive per-feature affine transform, a caller can re-express
+    every threshold in another scaling of the same matrix from these
+    codes alone (:func:`rebind_thresholds`) — the fold-lockstep boosting
+    path grows one batch of trees for all LOGO folds and rebinds
+    per-fold thresholds afterwards.
+    """
+
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    value: np.ndarray
+    leaf_of_row: np.ndarray
+    bin_left: np.ndarray | None = None
+    bin_right: np.ndarray | None = None
+
+
+@dataclass
+class GrowStats:
+    """Aggregate counters for one :func:`grow_trees` call."""
+
+    nodes: int = 0
+    split_s: float = 0.0
+    leaf_s: float = 0.0
+
+
+def feature_code_order(codes: np.ndarray) -> np.ndarray:
+    """``(d, n)`` per-feature row order of binned codes.
+
+    Computed once per (matrix, fit) and shared by every tree/round grown
+    with a full candidate set; :func:`grow_trees` derives all deeper
+    orderings from it by stable partition, never sorting again.
+    """
+    return np.ascontiguousarray(np.argsort(codes, axis=0, kind="stable").T)
+
+
+def rebind_thresholds(tree: GrownTree, cols, lo, hi) -> np.ndarray:
+    """Thresholds of *tree* re-expressed against other bin bounds.
+
+    ``cols`` maps the tree's feature positions to columns of the
+    ``(d, B)`` ``lo``/``hi`` bound arrays (``None`` when the tree was
+    grown on the full matrix).  Uses the same midpoint + rounding-guard
+    arithmetic as the in-kernel threshold computation, so on the bounds
+    the tree was grown with it reproduces ``tree.threshold`` bit for
+    bit; on another positive rescaling of the same matrix it yields the
+    thresholds a solo fit in that scaling would have produced.
+    """
+    thr = np.array(tree.threshold, copy=True)
+    s = np.flatnonzero(tree.feature >= 0)
+    if s.size == 0:
+        return thr
+    f = tree.feature[s]
+    g = f if cols is None else np.asarray(cols)[f]
+    hi_l = hi[g, tree.bin_left[s]]
+    lo_r = lo[g, tree.bin_right[s]]
+    t = 0.5 * (hi_l + lo_r)
+    thr[s] = np.where(t >= lo_r, hi_l, t)
+    return thr
+
+
+class _TreeState:
+    """Growing arrays for one output tree."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "bl", "br",
+                 "leaf_vals", "leaf_of_row")
+
+    def __init__(self, n_rows_total: int) -> None:
+        self.feature: list[int] = []
+        self.threshold: list[float] = []
+        self.left: list[int] = []
+        self.right: list[int] = []
+        self.bl: list[int] = []
+        self.br: list[int] = []
+        self.leaf_vals: list[tuple[int, np.ndarray]] = []
+        self.leaf_of_row = np.full(n_rows_total, -1, dtype=np.int32)
+
+    def new_node(self) -> int:
+        self.feature.append(-1)
+        self.threshold.append(np.nan)
+        self.left.append(-1)
+        self.right.append(-1)
+        self.bl.append(-1)
+        self.br.append(-1)
+        return len(self.feature) - 1
+
+    def finish(self, k: int) -> GrownTree:
+        n_nodes = len(self.feature)
+        value = np.zeros((n_nodes, k), dtype=np.float64)
+        for nid, v in self.leaf_vals:
+            value[nid] = v
+        return GrownTree(
+            feature=np.asarray(self.feature, dtype=np.intp),
+            threshold=np.asarray(self.threshold, dtype=np.float64),
+            left=np.asarray(self.left, dtype=np.intp),
+            right=np.asarray(self.right, dtype=np.intp),
+            value=value,
+            leaf_of_row=self.leaf_of_row,
+            bin_left=np.asarray(self.bl, dtype=np.int16),
+            bin_right=np.asarray(self.br, dtype=np.int16),
+        )
+
+
+def _ranges(starts, counts):
+    """Concatenated ``[s, s+c)`` ranges — vectorized multi-arange."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.ones(total, dtype=np.int64)
+    out[0] = starts[0]
+    # Jump at each range start; counts must all be positive.
+    out[np.cumsum(counts)[:-1]] = starts[1:] - starts[:-1] - counts[:-1] + 1
+    return np.cumsum(out)
+
+
+def _draw_candidates(specs, node_tree, d, F):
+    """Per-node candidate features, one batched draw per tree per level.
+
+    Each tree's generator advances by exactly one ``random((m, d))``
+    call per level it is active in, regardless of batch composition, so
+    a tree grown solo draws the same candidates as one grown jointly.
+    """
+    L = node_tree.size
+    cand = np.empty((L, F), dtype=np.int64)
+    bounds = np.searchsorted(node_tree, np.arange(len(specs) + 1))
+    for t in range(len(specs)):
+        lo, hi = bounds[t], bounds[t + 1]
+        if lo == hi:
+            continue
+        r = specs[t].rng.random((hi - lo, d))
+        part = np.argpartition(r, F - 1, axis=1)[:, :F]
+        cand[lo:hi] = np.sort(part, axis=1)
+    return cand
+
+
+def _score_bucket(sel, sizes, starts, ent_code, ent_g, y32, F, min_leaf):
+    """Best split per selected slot from a rank-rect prefix scan.
+
+    ``ent_code``/``ent_g`` are the level's full entry arrays
+    (slot-major, feature-major, code-sorted); ``sel`` picks the bucket's
+    slots.  Returns per-selected-slot ``(ok, fpos, bl, br)``: candidate
+    feature position and the bin codes flanking the winning boundary.
+
+    The rect is rank-major — rank ``r`` of every segment lives in one
+    contiguous ``(S, k)`` slab — so the prefix scan is ``M`` dense
+    slab-adds and each einsum reduction streams whole slabs.  (The
+    segment-major alternative was measured slower here: its scatter is
+    sequential but the scan strides.)  Scores come from two einsums over
+    the rect plus small ``(rank, segment)`` arithmetic; invalid
+    positions (pad, non-boundaries, min-leaf violations) are masked to
+    ``inf`` before a dense position-major argmin.
+    """
+    m = sizes[sel]
+    L = m.size
+    S = L * F
+    M = int(m.max())
+    k = y32.shape[1]
+
+    if L == sizes.size:
+        code_b = ent_code
+        g_b = ent_g
+    else:
+        e_idx = _ranges(starts[:-1][sel] * F, m * F)
+        code_b = ent_code[e_idx]
+        g_b = ent_g[e_idx]
+    E = code_b.size
+
+    # (segment, rank) coordinates of each bucket entry — division-free.
+    seg_sizes = np.repeat(m, F)
+    seg_off = np.concatenate([[0], np.cumsum(seg_sizes)])
+    seg_of_e = np.repeat(np.arange(S), seg_sizes)
+    r_e = np.arange(E) - seg_off[:-1][seg_of_e]
+    pos = r_e * S + seg_of_e
+
+    # Rank-major rect: strided scatter, dense slab scan + reductions.
+    rectf = np.zeros((M * S, k), dtype=np.float32)
+    rectf[pos] = y32[g_b]
+    rect = rectf.reshape(M, S, k)
+    for i in range(1, M):
+        rect[i] += rect[i - 1]
+
+    tot = rect[seg_sizes - 1, np.arange(S)]
+    tt = np.einsum("sk,sk->s", tot, tot)
+    ls2 = np.einsum("msk,msk->ms", rect, rect)
+    dot = np.einsum("msk,sk->ms", rect, tot)
+    rs2 = tt[None, :] - 2.0 * dot + ls2
+
+    lc = (np.arange(M, dtype=np.float32) + 1.0)[:, None]
+    rc = seg_sizes[None, :].astype(np.float32) - lc
+    score = -(ls2 / lc + rs2 / np.maximum(rc, 1.0))
+
+    # Valid positions: occupied-bin boundaries with both children big
+    # enough.  Entries e and e+1 share a segment whenever r < m - 1.
+    m_e = np.repeat(m, m * F)
+    bnd_e = r_e < m_e - 1
+    nxt = np.empty_like(code_b)
+    nxt[:-1] = code_b[1:]
+    nxt[-1] = 0
+    bnd_e &= code_b != nxt
+    bnd = np.zeros(M * S, dtype=bool)
+    bnd[pos[bnd_e]] = True
+    valid = bnd.reshape(M, S)
+    if min_leaf > 1:
+        valid &= (lc >= min_leaf) & (rc >= min_leaf)
+    score[~valid] = np.inf
+
+    # Position-major argmin (rank first, then feature position),
+    # matching the exact kernel's flat argmin over (position, feature).
+    sc3 = score.reshape(M, L, F)
+    rmin = np.argmin(sc3, axis=0)
+    vmin = np.min(sc3, axis=0)
+    vbest = vmin.min(axis=1)
+    ok = np.isfinite(vbest)
+    tied = vmin == vbest[:, None]
+    prio = np.where(tied, rmin * F + np.arange(F), _INT64_MAX)
+    fpos = np.argmin(prio, axis=1)
+    rbest = rmin[np.arange(L), fpos]
+
+    e_best = seg_off[np.arange(L) * F] + fpos * m + rbest
+    e_best = np.minimum(e_best, E - 2)
+    return ok, fpos, code_b[e_best], code_b[e_best + 1]
+
+
+def grow_trees(binned, y32, y64, specs, *, n_cand, max_depth,
+               min_samples_split, min_samples_leaf, feature_order=None,
+               root_order=None, timing=False):
+    """Grow a batch of trees level-wise on pre-binned codes.
+
+    Parameters
+    ----------
+    binned:
+        :class:`~repro.ml.binning.BinnedMatrix` shared by all trees.
+    y32 / y64:
+        ``(n, k)`` float32 targets (split scoring) and float64 targets
+        (leaf means), both over the *global* rows of ``binned``.
+    specs:
+        One :class:`TreeSpec` per tree.  All specs must use the same
+        mode: full candidate set (``n_cand >= d``, ``rng`` unused) or
+        per-node draws (``rng`` required).
+    feature_order:
+        Optional ``(d, n)`` result of :func:`feature_code_order` for
+        the full-candidate path; computed on the fly when omitted.
+        Callers fitting many rounds on the same codes should pass it.
+    root_order:
+        Optional pre-built root entry array for the full-candidate
+        path: the concatenation, spec-major then feature-major, of each
+        spec's rows stably sorted by bin code.  Callers growing many
+        rounds over fixed spec row-sets (fold-lockstep boosting) pass
+        this to skip the per-call root masking pass; rows must be
+        duplicate-free per spec.
+
+    Returns ``(trees, stats)`` with one :class:`GrownTree` per spec.
+    """
+    codes = binned.codes
+    n_glob, d = codes.shape
+    k = y32.shape[1]
+    F = int(min(n_cand, d))
+    full_cand = F == d
+    T = len(specs)
+    if T == 0:
+        raise ValidationError("grow_trees needs at least one TreeSpec")
+    for s in specs:
+        if np.asarray(s.rows).size == 0:
+            raise ValidationError("grow_trees received a TreeSpec with no rows")
+        if not full_cand and s.rng is None:
+            raise ValidationError(
+                "per-node candidate sampling needs a TreeSpec rng"
+            )
+
+    t0_all = time.perf_counter() if timing else 0.0
+    stats = GrowStats()
+    states = [_TreeState(n_glob) for _ in range(T)]
+
+    rows = np.concatenate([np.asarray(s.rows, dtype=np.int64) for s in specs])
+    starts = np.concatenate(
+        [[0], np.cumsum([len(s.rows) for s in specs])]
+    ).astype(np.int64)
+    node_tree = np.arange(T, dtype=np.int64)
+    node_id = np.array([st.new_node() for st in states], dtype=np.int64)
+    stats.nodes += T
+    depth = 0
+
+    # Order propagation needs a unique global-row -> side lookup, which
+    # bootstrap duplicates break; those trees use per-level key sorts.
+    propagate = full_cand and (root_order is not None or all(
+        np.unique(np.asarray(s.rows)).size == np.asarray(s.rows).size
+        for s in specs
+    ))
+    ent_g = None
+    if propagate:
+        if root_order is not None:
+            ent_g = np.ascontiguousarray(root_order, dtype=np.int64)
+        else:
+            if feature_order is None:
+                feature_order = feature_code_order(codes)
+            mult = np.zeros(n_glob, dtype=np.int64)
+            parts = []
+            for s in specs:
+                mult[:] = 0
+                mult[np.asarray(s.rows, dtype=np.int64)] = 1
+                sel = mult[feature_order]
+                parts.append(feature_order.ravel()[sel.ravel().astype(bool)])
+            ent_g = np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+    def finalize(leaf_sel):
+        """Record the selected slots as leaves (batched f64 means)."""
+        t0 = time.perf_counter() if timing else 0.0
+        sl = np.flatnonzero(leaf_sel)
+        sl_sizes = (starts[1:] - starts[:-1])[sl]
+        if sl_sizes.size == 0:
+            return
+        r_idx = _ranges(starts[:-1][sl], sl_sizes)
+        rows_l = rows[r_idx]
+        offs = np.concatenate([[0], np.cumsum(sl_sizes)])
+        sums = np.add.reduceat(y64[rows_l], offs[:-1], axis=0)
+        means = sums / sl_sizes[:, None]
+        for j, s_i in enumerate(sl):
+            st = states[node_tree[s_i]]
+            nid = int(node_id[s_i])
+            st.leaf_vals.append((nid, means[j]))
+            st.leaf_of_row[rows_l[offs[j]:offs[j + 1]]] = nid
+        if timing:
+            stats.leaf_s += time.perf_counter() - t0
+
+    while rows.size:
+        sizes = starts[1:] - starts[:-1]
+        L = sizes.size
+
+        # --- structural + purity leaf decisions -----------------------
+        ylvl = y32[rows]
+        first = np.repeat(ylvl[starts[:-1]], sizes, axis=0)
+        spread = np.abs(ylvl - first).max(axis=1)
+        pure = np.maximum.reduceat(spread, starts[:-1]) <= _PURITY_ATOL
+        split_try = (sizes >= min_samples_split) & ~pure
+        if max_depth is not None and depth >= max_depth:
+            split_try[:] = False
+
+        if not np.all(split_try):
+            finalize(~split_try)
+            keep = split_try
+            if propagate:
+                ent_g = ent_g[np.repeat(keep, sizes * F)]
+            rows = rows[np.repeat(keep, sizes)]
+            node_tree = node_tree[keep]
+            node_id = node_id[keep]
+            sizes = sizes[keep]
+            starts = np.concatenate([[0], np.cumsum(sizes)])
+            L = sizes.size
+            if L == 0:
+                break
+
+        # --- candidate features + entry arrays -----------------------
+        slot_of_row = np.repeat(np.arange(L), sizes)
+        if propagate:
+            cand = None
+            seg_sz_lvl = np.repeat(sizes, F)
+            seg_off_lvl = np.concatenate([[0], np.cumsum(seg_sz_lvl)])
+            f_e = np.repeat(np.tile(np.arange(F), L), seg_sz_lvl)
+            r_e_lvl = (np.arange(ent_g.size)
+                       - np.repeat(seg_off_lvl[:-1], seg_sz_lvl))
+            ent_code = codes[ent_g, f_e]
+        else:
+            if full_cand:
+                cand = None
+                C = codes[rows]
+            else:
+                cand = _draw_candidates(specs, node_tree, d, F)
+                C = codes[rows[:, None], cand[slot_of_row]]
+            # Unique keys: (slot, feature, code, row-within-node).  The
+            # row tiebreak pins the order among equal codes to the
+            # node's canonical row order, so the float32 association of
+            # the scan never depends on batch composition, and a plain
+            # (fast) quicksort argsort is fully deterministic.
+            M_lvl = int(sizes.max())
+            row_local = np.arange(rows.size) - starts[:-1][slot_of_row]
+            key = ((slot_of_row[:, None] * F + np.arange(F))
+                   * (_KEY_STRIDE * M_lvl)
+                   + C.astype(np.int64) * M_lvl
+                   + row_local[:, None])
+            kr = key.ravel()
+            if L * F * _KEY_STRIDE * M_lvl <= np.iinfo(np.int32).max:
+                kr = kr.astype(np.int32)
+            order = np.argsort(kr)
+            ent_g = np.repeat(rows, F)[order]
+            ent_code = C.ravel()[order]
+
+        # --- best splits, bucketed by node size ----------------------
+        ok = np.empty(L, dtype=bool)
+        fpos = np.empty(L, dtype=np.int64)
+        bl = np.empty(L, dtype=np.uint8)
+        br = np.empty(L, dtype=np.uint8)
+        # Power-of-two size classes bound the rect padding below 2x
+        # without one huge sibling padding the whole level.
+        cls = np.searchsorted(_POW2, sizes, side="left")
+        present = np.unique(cls)
+        if present.size == 1:
+            buckets = [np.arange(L)]
+        else:
+            buckets = [np.flatnonzero(cls == c) for c in present]
+        for sel in buckets:
+            if sel.size == 0:
+                continue
+            ok[sel], fpos[sel], bl[sel], br[sel] = _score_bucket(
+                sel, sizes, starts, ent_code, ent_g, y32, F,
+                min_samples_leaf,
+            )
+
+        if not np.all(ok):
+            finalize(~ok)
+            if not np.any(ok):
+                break
+
+        # --- record splits -------------------------------------------
+        feat = fpos if full_cand else cand[np.arange(L), fpos]
+        hi_l = binned.hi[feat, bl]
+        lo_r = binned.lo[feat, br]
+        thr = 0.5 * (hi_l + lo_r)
+        thr = np.where(thr >= lo_r, hi_l, thr)
+
+        kept = np.flatnonzero(ok)
+        Lk = kept.size
+        left_id = np.empty(Lk, dtype=np.int64)
+        right_id = np.empty(Lk, dtype=np.int64)
+        for j, s_i in enumerate(kept):
+            st = states[node_tree[s_i]]
+            nid = int(node_id[s_i])
+            lid = st.new_node()
+            rid = st.new_node()
+            st.feature[nid] = int(feat[s_i])
+            st.threshold[nid] = float(thr[s_i])
+            st.bl[nid] = int(bl[s_i])
+            st.br[nid] = int(br[s_i])
+            st.left[nid] = lid
+            st.right[nid] = rid
+            left_id[j] = lid
+            right_id[j] = rid
+        stats.nodes += 2 * Lk
+
+        # --- partition rows (stable within each node) ----------------
+        go_right = codes[rows, feat[slot_of_row]] > bl[slot_of_row]
+        slot_rank = np.full(L, -1, dtype=np.int64)
+        slot_rank[kept] = np.arange(Lk)
+        row_keep = ok[slot_of_row]
+        child_of_row = (slot_rank[slot_of_row[row_keep]] * 2
+                        + go_right[row_keep])
+        order_r = np.argsort(child_of_row, kind="stable")
+        new_sizes = np.bincount(child_of_row, minlength=2 * Lk)
+        new_rows = rows[row_keep][order_r]
+
+        if propagate:
+            # Side lookup must be per (tree, row): different trees can
+            # split the same global row to different sides.
+            gr_glob = np.zeros(T * n_glob, dtype=bool)
+            tree_of_row = node_tree[slot_of_row]
+            gr_glob[tree_of_row[row_keep] * n_glob + rows[row_keep]] = \
+                go_right[row_keep]
+            slot_of_ent = np.repeat(np.arange(L), sizes * F)
+            e_keep = ok[slot_of_ent]
+            eg = ent_g[e_keep]
+            ef = f_e[e_keep]
+            er = r_e_lvl[e_keep]
+            eslot = slot_rank[slot_of_ent[e_keep]]
+            gr_e = gr_glob[node_tree[slot_of_ent[e_keep]] * n_glob + eg]
+            # Stable partition: left-rank within each (slot, feature)
+            # segment via an exclusive cumsum minus segment offsets.
+            is_l = ~gr_e
+            lcum = np.cumsum(is_l)
+            excl = lcum - is_l
+            seg_sizes = np.repeat(sizes[kept], F)
+            seg_starts = np.concatenate(
+                [[0], np.cumsum(seg_sizes)]
+            )[:-1]
+            seg_of_e = np.repeat(np.arange(seg_sizes.size), seg_sizes)
+            lrank = excl - excl[seg_starts][seg_of_e]
+            rank_new = np.where(gr_e, er - lrank, lrank)
+            child_e = eslot * 2 + gr_e
+            m_new_e = new_sizes[child_e]
+            new_e_start = np.concatenate([[0], np.cumsum(new_sizes * F)])
+            pos_new = new_e_start[child_e] + ef * m_new_e + rank_new
+            new_ent = np.empty_like(eg)
+            new_ent[pos_new] = eg
+            ent_g = new_ent
+
+        rows = new_rows
+        starts = np.concatenate([[0], np.cumsum(new_sizes)])
+        node_tree = np.repeat(node_tree[kept], 2)
+        ids = np.empty(2 * Lk, dtype=np.int64)
+        ids[0::2] = left_id
+        ids[1::2] = right_id
+        node_id = ids
+        depth += 1
+
+    if timing:
+        stats.split_s = time.perf_counter() - t0_all - stats.leaf_s
+    return [states[t].finish(k) for t in range(T)], stats

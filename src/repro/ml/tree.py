@@ -22,7 +22,34 @@ from .._validation import check_positive_int, check_random_state
 from ..errors import ValidationError
 from .base import Regressor, validate_fit_inputs
 
-__all__ = ["RegressionTree"]
+__all__ = ["RegressionTree", "TREE_METHODS", "n_candidate_features"]
+
+#: Valid ``tree_method`` values for the tree-based models.
+TREE_METHODS = ("exact", "hist")
+
+
+def check_tree_method(tree_method: str) -> str:
+    """Validate a ``tree_method`` option (shared by tree/forest/boosting)."""
+    if tree_method not in TREE_METHODS:
+        raise ValidationError(
+            f"tree_method must be one of {TREE_METHODS}, got {tree_method!r}"
+        )
+    return tree_method
+
+
+def n_candidate_features(max_features, d: int) -> int:
+    """Resolve a ``max_features`` spec to a per-node candidate count."""
+    if max_features is None:
+        return d
+    if max_features == "sqrt":
+        return max(1, int(np.sqrt(d)))
+    if isinstance(max_features, float):
+        if not 0.0 < max_features <= 1.0:
+            raise ValidationError(
+                f"max_features fraction out of (0,1]: {max_features}"
+            )
+        return max(1, int(round(max_features * d)))
+    return min(d, check_positive_int(max_features, name="max_features"))
 
 #: Scratch budget of the split search, in float32 elements.  The cumsum
 #: tensor is float32, so 4M floats ~= 16 MB per (chunk, n, k) block.
@@ -151,6 +178,13 @@ class RegressionTree(Regressor):
         the decorrelation knob random forests rely on.
     rng:
         Seed or Generator for feature subsampling.
+    tree_method:
+        ``"exact"`` (default) grows with the per-node sorted-scan kernel;
+        ``"hist"`` grows level-wise on pre-binned uint8 codes
+        (:mod:`repro.ml.hist`).  On losslessly binned data the two agree
+        whenever float32 rounding cannot flip a split comparison; the
+        exact path is bit-stable across releases and stays the tier-1
+        default.
     """
 
     def __init__(
@@ -161,6 +195,7 @@ class RegressionTree(Regressor):
         min_samples_leaf: int = 1,
         max_features: int | float | str | None = None,
         rng=None,
+        tree_method: str = "exact",
     ) -> None:
         if max_depth is not None:
             max_depth = check_positive_int(max_depth, name="max_depth")
@@ -173,29 +208,95 @@ class RegressionTree(Regressor):
         )
         self.max_features = max_features
         self.rng = rng
+        self.tree_method = check_tree_method(tree_method)
 
     # -- internals ---------------------------------------------------------
 
     def _n_candidate_features(self, d: int) -> int:
-        mf = self.max_features
-        if mf is None:
-            return d
-        if mf == "sqrt":
-            return max(1, int(np.sqrt(d)))
-        if isinstance(mf, float):
-            if not 0.0 < mf <= 1.0:
-                raise ValidationError(f"max_features fraction out of (0,1]: {mf}")
-            return max(1, int(round(mf * d)))
-        return min(d, check_positive_int(mf, name="max_features"))
+        return n_candidate_features(self.max_features, d)
 
-    def fit(self, X, y, sample_indices=None) -> "RegressionTree":
+    def _adopt_grown(self, grown, d: int, k: int) -> None:
+        """Install a :class:`~repro.ml.hist.GrownTree`'s flat arrays."""
+        self._feature = np.asarray(grown.feature, dtype=np.intp)
+        self._threshold = np.asarray(grown.threshold, dtype=np.float64)
+        self._left = np.asarray(grown.left, dtype=np.intp)
+        self._right = np.asarray(grown.right, dtype=np.intp)
+        self._value = np.asarray(grown.value, dtype=np.float64)
+        self.n_features_ = d
+        self.n_outputs_ = k
+
+    def _fit_hist(self, Xv, yv, sample_indices, gen, binned) -> "RegressionTree":
+        """Histogram fit: bin once (unless pre-binned), grow level-wise."""
+        from .binning import BinMapper
+        from .hist import TreeSpec, grow_trees
+
+        n, d = Xv.shape if binned is None else (binned.n_rows, binned.n_features)
+        if Xv is not None and binned is not None and (n, d) != Xv.shape:
+            raise ValidationError(
+                f"binned matrix is {(n, d)}, X is {Xv.shape}"
+            )
+        k = yv.shape[1]
+        timing = obs.enabled()
+        t_fit = time.perf_counter() if timing else 0.0
+        if binned is None:
+            binned = BinMapper().fit_transform(Xv)
+        rows = (
+            np.arange(n, dtype=np.intp)
+            if sample_indices is None
+            else np.asarray(sample_indices, dtype=np.intp)
+        )
+        n_cand = self._n_candidate_features(d)
+        spec = TreeSpec(rows=rows, rng=gen if n_cand < d else None)
+        trees, stats = grow_trees(
+            binned,
+            yv.astype(np.float32),
+            yv,
+            [spec],
+            n_cand=n_cand,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            timing=timing,
+        )
+        self._adopt_grown(trees[0], d, k)
+        if timing:
+            obs.counter("tree.fits")
+            obs.counter("tree.nodes", stats.nodes)
+            obs.counter("tree.hist_nodes", stats.nodes)
+            obs.observe("tree.split_search_s", stats.split_s)
+            obs.observe("tree.leaf_s", stats.leaf_s)
+            obs.observe("tree.fit_s", time.perf_counter() - t_fit)
+        return self
+
+    def fit_binned(self, binned, y, sample_indices=None) -> "RegressionTree":
+        """Fit from a :class:`~repro.ml.binning.BinnedMatrix` alone.
+
+        X-free twin of :meth:`fit` for the ``tree_method="hist"`` path:
+        pool workers receive the shared uint8 codes plus bin bounds and
+        never touch the float64 feature matrix.  Bit-identical to
+        ``fit(X, y, sample_indices, binned=binned)``.
+        """
+        if self.tree_method != "hist":
+            raise ValidationError("fit_binned requires tree_method='hist'")
+        from .base import validate_binned_targets
+
+        yv = validate_binned_targets(binned, y)
+        gen = check_random_state(self.rng)
+        return self._fit_hist(None, yv, sample_indices, gen, binned)
+
+    def fit(self, X, y, sample_indices=None, binned=None) -> "RegressionTree":
         """Grow the tree on (X, y).
 
         ``sample_indices`` optionally restricts training to a row subset
-        (used by bagging to avoid copying the feature matrix).
+        (used by bagging to avoid copying the feature matrix).  With
+        ``tree_method="hist"``, ``binned`` optionally supplies the
+        pre-binned :class:`~repro.ml.binning.BinnedMatrix` of *X* so the
+        one-time binning pass is shared across trees/rounds/folds.
         """
         Xv, yv = validate_fit_inputs(X, y)
         gen = check_random_state(self.rng)
+        if self.tree_method == "hist":
+            return self._fit_hist(Xv, yv, sample_indices, gen, binned)
         n, d = Xv.shape
         k = yv.shape[1]
         # Split-kernel timing is sampled only when obs is recording; the
@@ -203,10 +304,6 @@ class RegressionTree(Regressor):
         timing = obs.enabled()
         t_fit = time.perf_counter() if timing else 0.0
         split_s = 0.0
-        # One float32 cast for the whole fit; the split kernel accumulates
-        # in float32 anyway, and per-node gathers of the pre-cast matrix
-        # halve the memory traffic of the hottest path.
-        yv32 = yv.astype(np.float32)
         XvT = Xv.T
         root_idx = (
             np.arange(n, dtype=np.intp)
@@ -233,18 +330,23 @@ class RegressionTree(Regressor):
         while stack:
             task = stack.pop()
             idx = task.indices
+            # One float64 gather per node; the float32 view the split
+            # kernel needs is a cast of it (gather+cast commute bit for
+            # bit), and leaf means are taken only when the node actually
+            # becomes a leaf — internal nodes skip the mean entirely.
             Yn = yv[idx]
-            values[task.node_id] = Yn.mean(axis=0)
             if (
                 idx.size < self.min_samples_split
                 or idx.size < 2 * self.min_samples_leaf
                 or (self.max_depth is not None and task.depth >= self.max_depth)
             ):
+                values[task.node_id] = Yn.mean(axis=0)
                 continue
             # Pure-node shortcut: zero spread in every output (same
             # predicate as allclose(rtol=0, atol=1e-15), minus its
             # temporaries — this check runs once per node).
             if np.abs(Yn - Yn[0]).max() <= 1e-15:
+                values[task.node_id] = Yn.mean(axis=0)
                 continue
 
             if n_cand < d:
@@ -252,7 +354,7 @@ class RegressionTree(Regressor):
             else:
                 cand = np.arange(d)
             best: tuple[float, int, float] | None = None
-            Yn32 = yv32[idx]
+            Yn32 = Yn.astype(np.float32)
             chunk_size = _feature_chunk(idx.size, k)
             t_node = time.perf_counter() if timing else 0.0
             for start in range(0, cand.size, chunk_size):
@@ -268,12 +370,14 @@ class RegressionTree(Regressor):
             if timing:
                 split_s += time.perf_counter() - t_node
             if best is None:
+                values[task.node_id] = Yn.mean(axis=0)
                 continue
             _, feat, thr = best
             mask = Xv[idx, feat] <= thr
             left_idx = idx[mask]
             right_idx = idx[~mask]
             if left_idx.size < self.min_samples_leaf or right_idx.size < self.min_samples_leaf:
+                values[task.node_id] = Yn.mean(axis=0)
                 continue
             lid, rid = new_node(), new_node()
             features[task.node_id] = feat

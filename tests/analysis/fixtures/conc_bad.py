@@ -42,3 +42,12 @@ def mutate_shared_view(ref):
     view[0] = 1.0  # CONC004
     view.fill(0.0)  # CONC004
     return np.sum(view)
+
+
+def publish_raw_despite_binned(store, X):
+    """CONC005: X was binned but the float64 matrix still ships."""
+    from repro.ml.binning import BinMapper
+
+    binned = BinMapper().fit_transform(X)
+    ref = store.publish(X)  # CONC005
+    return binned, ref

@@ -46,3 +46,18 @@ def read_shared_view(ref):
     total = float(np.sum(view[1:]))
     view = None  # rebinding is not a mutation
     return total
+
+
+def publish_binned_plane(X):
+    """Publishing the uint8 codes and bounds, not the float64 matrix."""
+    from repro.ml.binning import BinMapper
+
+    binned = BinMapper().fit_transform(X)
+    with SharedArrayStore() as store:
+        return store.publish(binned.codes), store.publish(binned.lo)
+
+
+def publish_unbinned_matrix(Y):
+    """No binned encoding of Y in scope — publishing it is the plane."""
+    with SharedArrayStore() as store:
+        return store.publish(Y)

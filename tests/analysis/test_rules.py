@@ -58,6 +58,7 @@ class TestConcurrencyPack:
         assert hits["CONC002"] == 1  # bare local store
         assert hits["CONC003"] == 1  # raw SharedMemory(create=True)
         assert hits["CONC004"] == 2  # subscript write + .fill()
+        assert hits["CONC005"] == 1  # float64 publish with binned in scope
 
     def test_negative_cases(self, corpus_report):
         assert not _hits(corpus_report, "conc_good.py")
@@ -148,6 +149,7 @@ def test_corpus_is_dirty_overall(corpus_report):
         "CONC002",
         "CONC003",
         "CONC004",
+        "CONC005",
         "OBS001",
         "OBS002",
         "OBS003",

@@ -159,6 +159,111 @@ class TestWorkerDeterminism:
         assert _wants_serial(rf_like) is True
 
 
+class TestHistEngine:
+    """Engine integration of the pre-binned histogram kernel."""
+
+    def test_rf_hist_serial_vs_parallel(self, small_intel):
+        from repro.ml.forest import RandomForestRegressor
+
+        rep = PearsonRndRepresentation()
+        design = FewRunsDesign(small_intel, n_probe_runs=8, n_replicas=2)
+        X, Y, groups = design.rows(rep)
+        model = RandomForestRegressor(10, rng=7, tree_method="hist")
+        serial = logo_fold_vectors(
+            X, Y, groups, design.probe_features, model, n_workers=1
+        )
+        parallel = logo_fold_vectors(
+            X, Y, groups, design.probe_features, model, n_workers=2
+        )
+        assert sorted(serial) == sorted(parallel)
+        for bench in serial:
+            assert np.array_equal(serial[bench], parallel[bench])
+
+    def test_gb_lockstep_matches_per_fold_path(self, small_intel, monkeypatch):
+        from repro.core import engine
+        from repro.ml.boosting import GradientBoostingRegressor
+
+        rep = PearsonRndRepresentation()
+        design = FewRunsDesign(small_intel, n_probe_runs=8, n_replicas=2)
+        X, Y, groups = design.rows(rep)
+        model = GradientBoostingRegressor(
+            10, max_depth=3, colsample_bytree=0.5, rng=7, tree_method="hist"
+        )
+        lockstep = logo_fold_vectors(
+            X, Y, groups, design.probe_features, model, n_workers=1
+        )
+        # Disable the all-folds batch so the engine falls back to the
+        # per-fold hist loop; the two routes must be bit-identical.
+        monkeypatch.setattr(engine, "can_lockstep", lambda *a: False)
+        per_fold = logo_fold_vectors(
+            X, Y, groups, design.probe_features, model, n_workers=1
+        )
+        assert sorted(lockstep) == sorted(per_fold)
+        for bench in lockstep:
+            assert np.array_equal(lockstep[bench], per_fold[bench])
+
+    def test_design_caches_binned_matrix(self, small_intel):
+        from repro.ml.forest import RandomForestRegressor
+
+        design = FewRunsDesign(small_intel, n_probe_runs=8, n_replicas=2)
+        rep = PearsonRndRepresentation()
+        a = RandomForestRegressor(5, rng=1, tree_method="hist")
+        b = RandomForestRegressor(8, rng=2, tree_method="hist")
+        design.fold_vectors(a, rep, n_workers=1)
+        design.fold_vectors(b, rep, n_workers=1)
+        # One X (uc1 shares it across encodings) -> one cached binning.
+        assert len(design._binned) == 1
+
+    @pytest.mark.parametrize("model", ["rf", "xgboost"])
+    def test_ks_drift_vs_exact_bounded(self, small_intel, model):
+        from repro.core.config import EvalConfig
+
+        tables = {
+            tm: evaluate_few_runs(
+                small_intel,
+                config=EvalConfig(
+                    representation="pearsonrnd",
+                    model=model,
+                    n_probe_runs=8,
+                    n_replicas=2,
+                    tree_method=tm,
+                ),
+            )
+            for tm in ("exact", "hist")
+        }
+        drift = np.abs(
+            np.asarray(tables["hist"]["ks"]) - np.asarray(tables["exact"]["ks"])
+        )
+        # Binning is lossy on continuous representation features, so the
+        # kernels may disagree on near-tie splits.  This 5-benchmark
+        # fixture (10 training rows) amplifies each disagreement far
+        # beyond the bench grid's regime (grid-wide: max 0.083, mean
+        # 0.013 — see EXPERIMENTS.md); the bounds here only guard
+        # against wholesale divergence.
+        assert drift.max() < 0.2
+        assert drift.mean() < 0.08
+
+    def test_knn_ignores_tree_method(self, small_intel):
+        from repro.core.config import EvalConfig
+
+        tables = {
+            tm: evaluate_few_runs(
+                small_intel,
+                config=EvalConfig(
+                    representation="pearsonrnd",
+                    model="knn",
+                    n_probe_runs=8,
+                    n_replicas=2,
+                    tree_method=tm,
+                ),
+            )
+            for tm in ("exact", "hist")
+        }
+        assert np.array_equal(
+            np.asarray(tables["hist"]["ks"]), np.asarray(tables["exact"]["ks"])
+        )
+
+
 class TestDesignReuseMatchesPerCellEvaluation:
     def test_shared_design_equals_fresh_evaluations(self, small_intel):
         design = FewRunsDesign(small_intel, n_probe_runs=8, n_replicas=2, seed=616161)

@@ -1,0 +1,241 @@
+"""Tests for the histogram split kernel and its model integration.
+
+Contract under test: on losslessly binnable data (every feature has at
+most 255 distinct values — always true at the paper's grid scale) with
+targets whose split statistics are exact in float32 (small integers),
+``tree_method="hist"`` grows the *same tree* as the exact kernel, node
+for node; and the batch entry points (joint forest growth, the boosting
+fold lockstep, the X-free ``fit_binned``) are bit-identical to their
+one-at-a-time equivalents on arbitrary real-valued targets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.ml.binning import BinMapper
+from repro.ml.boosting import (
+    GradientBoostingRegressor,
+    can_lockstep,
+    fit_predict_folds,
+)
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.hist import TreeSpec, grow_trees
+from repro.ml.scaling import RobustScaler
+from repro.ml.tree import RegressionTree
+
+
+def _integer_targets(r, n, k, X):
+    """float32-exact targets (small integers) correlated with X."""
+    base = r.integers(-3, 4, size=(n, k)).astype(np.float64)
+    return base + (X[:, :1] > 0) * r.integers(0, 4, size=(1, k))
+
+
+def assert_trees_equal(exact: RegressionTree, hist: RegressionTree) -> None:
+    """Structural equality despite different node numbering orders."""
+
+    def rec(a: int, b: int) -> None:
+        fa, fb = exact._feature[a], hist._feature[b]
+        assert (fa >= 0) == (fb >= 0), "leaf/internal mismatch"
+        if fa < 0:
+            np.testing.assert_allclose(
+                exact._value[a], hist._value[b], rtol=0, atol=1e-12
+            )
+            return
+        assert fa == fb, "split feature mismatch"
+        assert exact._threshold[a] == hist._threshold[b], "threshold mismatch"
+        rec(exact._left[a], hist._left[b])
+        rec(exact._right[a], hist._right[b])
+
+    rec(0, 0)
+
+
+class TestLosslessParity:
+    """hist == exact, tree for tree, when binning loses nothing."""
+
+    @pytest.mark.parametrize(
+        "n,d,k,max_depth,min_leaf,seed",
+        [
+            (60, 30, 4, 6, 1, 0),
+            (60, 30, 4, 6, 1, 1),
+            (200, 12, 2, None, 2, 100),
+            (200, 12, 2, None, 2, 101),
+            (64, 136, 32, 6, 1, 200),
+            (64, 136, 32, 6, 1, 201),
+        ],
+    )
+    def test_single_tree_matches_exact(self, n, d, k, max_depth, min_leaf, seed):
+        r = np.random.default_rng(seed)
+        X = r.normal(size=(n, d))
+        Y = _integer_targets(r, n, k, X)
+        exact = RegressionTree(max_depth=max_depth, min_samples_leaf=min_leaf).fit(
+            X, Y
+        )
+        hist = RegressionTree(
+            max_depth=max_depth, min_samples_leaf=min_leaf, tree_method="hist"
+        ).fit(X, Y)
+        assert_trees_equal(exact, hist)
+
+    def test_predictions_match_exact(self):
+        r = np.random.default_rng(3)
+        X = r.normal(size=(80, 20))
+        Y = _integer_targets(r, 80, 5, X)
+        pe = RegressionTree(max_depth=5).fit(X, Y).predict(X)
+        ph = RegressionTree(max_depth=5, tree_method="hist").fit(X, Y).predict(X)
+        np.testing.assert_allclose(pe, ph, rtol=0, atol=1e-12)
+
+
+class TestForestJointGrowth:
+    """Batch-grown forest == growing each tree solo from its seed."""
+
+    def test_joint_matches_solo_streams(self):
+        r = np.random.default_rng(5)
+        n, d, k = 70, 25, 3
+        X = r.normal(size=(n, d))
+        Y = r.normal(size=(n, k))
+        n_trees, n_cand = 4, 11
+        forest = RandomForestRegressor(
+            n_trees, max_features=n_cand, rng=7, tree_method="hist"
+        ).fit(X, Y)
+
+        binned = BinMapper().fit_transform(X)
+        gen = np.random.default_rng(7)
+        seeds = np.random.SeedSequence(gen.integers(0, 2**63 - 1)).spawn(n_trees)
+        for seq, tree in zip(seeds, forest.trees_):
+            tree_rng = np.random.default_rng(seq)
+            rows = tree_rng.integers(0, n, size=n)
+            solo, _ = grow_trees(
+                binned,
+                Y.astype(np.float32),
+                Y,
+                [TreeSpec(rows=rows, rng=tree_rng)],
+                n_cand=n_cand,
+                max_depth=None,
+                min_samples_split=2,
+                min_samples_leaf=1,
+            )
+            g = solo[0]
+            assert np.array_equal(tree._feature, g.feature)
+            # Leaf slots carry NaN thresholds, hence equal_nan.
+            assert np.array_equal(tree._threshold, g.threshold, equal_nan=True)
+            assert np.array_equal(tree._left, g.left)
+            assert np.array_equal(tree._right, g.right)
+            assert np.array_equal(tree._value, g.value)
+
+    def test_fit_binned_matches_fit(self):
+        r = np.random.default_rng(9)
+        X = r.normal(size=(50, 12))
+        Y = r.normal(size=(50, 2))
+        binned = BinMapper().fit_transform(X)
+        a = RandomForestRegressor(5, rng=3, tree_method="hist").fit(X, Y)
+        b = RandomForestRegressor(5, rng=3, tree_method="hist").fit_binned(binned, Y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))
+
+    def test_fit_binned_requires_hist(self):
+        binned = BinMapper().fit_transform(np.zeros((4, 2)))
+        with pytest.raises(ValidationError):
+            RandomForestRegressor(2).fit_binned(binned, np.zeros(4))
+
+
+class TestBoostingLockstep:
+    """All-folds lockstep == per-fold solo fits on the shared binned codes."""
+
+    @staticmethod
+    def _fold_setup(seed=11, n_groups=4, rows_per=16, d=20, k=3):
+        r = np.random.default_rng(seed)
+        n = n_groups * rows_per
+        X = r.normal(size=(n, d))
+        Y = r.normal(size=(n, k))
+        groups = np.repeat(np.arange(n_groups), rows_per)
+        binned = BinMapper().fit_transform(X)
+        folds = []
+        for g in range(n_groups):
+            mask = groups != g
+            scaler = RobustScaler().fit(X[mask])
+            xp = scaler.transform(r.normal(size=(1, d)))
+            folds.append((mask, scaler.center_, scaler.scale_, xp[0]))
+        return X, Y, binned, folds
+
+    def test_lockstep_matches_solo(self):
+        X, Y, binned, folds = self._fold_setup()
+        model = GradientBoostingRegressor(
+            10,
+            learning_rate=0.3,
+            max_depth=3,
+            colsample_bytree=0.5,
+            rng=7,
+            tree_method="hist",
+        )
+        preds = fit_predict_folds(model, binned, Y, folds)
+        scaler = RobustScaler()
+        for (mask, center, scale, xp), joint in zip(folds, preds):
+            scaler.center_, scaler.scale_ = center, scale
+            fb = binned.scaled(center, scale).take_rows(mask)
+            solo = (
+                model.clone()
+                .fit(scaler.transform(X[mask]), Y[mask], binned=fb)
+                .predict(xp[None, :])[0]
+            )
+            np.testing.assert_array_equal(joint, solo)
+
+    def test_fit_binned_matches_fit(self):
+        r = np.random.default_rng(2)
+        X = r.normal(size=(48, 10))
+        Y = r.normal(size=(48, 2))
+        binned = BinMapper().fit_transform(X)
+        params = dict(
+            n_estimators=6, max_depth=3, colsample_bytree=0.5, rng=5,
+            tree_method="hist",
+        )
+        a = GradientBoostingRegressor(**params).fit(X, Y, binned=binned)
+        b = GradientBoostingRegressor(**params).fit_binned(binned, Y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))
+
+    def test_fit_binned_rejects_row_subsampling(self):
+        binned = BinMapper().fit_transform(np.zeros((6, 2)))
+        model = GradientBoostingRegressor(2, subsample=0.5, tree_method="hist")
+        with pytest.raises(ValidationError):
+            model.fit_binned(binned, np.zeros(6))
+
+    def test_can_lockstep_gating(self):
+        masks = [np.array([True, True, False]), np.array([False, True, True])]
+        hist = GradientBoostingRegressor(2, tree_method="hist")
+        exact = GradientBoostingRegressor(2)
+        sub = GradientBoostingRegressor(2, subsample=0.5, tree_method="hist")
+        assert can_lockstep(hist, masks)
+        assert not can_lockstep(exact, masks)
+        assert not can_lockstep(sub, masks)
+        uneven = [np.array([True, True, False]), np.array([False, False, True])]
+        assert not can_lockstep(hist, uneven)
+        assert not can_lockstep(RandomForestRegressor(2, tree_method="hist"), masks)
+
+
+class TestValidation:
+    def test_tree_method_validated(self):
+        with pytest.raises(ValidationError):
+            RegressionTree(tree_method="approx")
+        with pytest.raises(ValidationError):
+            RandomForestRegressor(2, tree_method="fast")
+        with pytest.raises(ValidationError):
+            GradientBoostingRegressor(2, tree_method="")
+
+    def test_clone_keeps_tree_method(self):
+        for model in (
+            RegressionTree(tree_method="hist"),
+            RandomForestRegressor(2, tree_method="hist"),
+            GradientBoostingRegressor(2, tree_method="hist"),
+        ):
+            assert model.clone().tree_method == "hist"
+
+    def test_binned_shape_mismatch_rejected(self):
+        r = np.random.default_rng(0)
+        X = r.normal(size=(20, 4))
+        binned = BinMapper().fit_transform(r.normal(size=(10, 4)))
+        with pytest.raises(ValidationError):
+            RandomForestRegressor(2, tree_method="hist").fit(
+                X, np.zeros(20), binned=binned
+            )
+        with pytest.raises(ValidationError):
+            GradientBoostingRegressor(2, tree_method="hist").fit(
+                X, np.zeros(20), binned=binned
+            )

@@ -12,13 +12,20 @@ engine dedup rates — schema in EXPERIMENTS.md) to
 
 Usage::
 
-    python tools/bench_report.py            # default workers
+    python tools/bench_report.py            # default workers, exact kernel
     REPRO_WORKERS=4 python tools/bench_report.py
+    REPRO_TREE_METHOD=hist python tools/bench_report.py
+
+``REPRO_TREE_METHOD=hist`` runs the grid on the pre-binned histogram
+kernel; the record then also carries an ``exact_reference`` block (the
+same grid re-run on the exact kernel, timed without instrumentation)
+and ``ks_drift_max_vs_exact`` — the largest per-(cell, benchmark)
+KS difference between the two kernels.
 
 The KS checksum is scale- and seed-deterministic: any run at the same
-scale must reproduce it bit-for-bit, regardless of worker count or
-campaign-cache state.  Compare records across commits to track the
-engine's speed without re-deriving baselines.
+scale and tree method must reproduce it bit-for-bit, regardless of
+worker count or campaign-cache state.  Compare records across commits
+to track the engine's speed without re-deriving baselines.
 """
 
 from __future__ import annotations
@@ -51,9 +58,10 @@ def run_grid() -> dict:
 
     cfg = bench_config()
     n_workers = default_workers()
+    tree_method = os.environ.get("REPRO_TREE_METHOD", "exact")
     from dataclasses import replace
 
-    cfg = replace(cfg, n_workers=n_workers)
+    cfg = replace(cfg, n_workers=n_workers, tree_method=tree_method)
 
     obs.enable()
     timer = StageTimer()
@@ -70,22 +78,66 @@ def run_grid() -> dict:
         n_workers=n_workers,
     )
     summary = obs.run_summary()
+    breakdown = fit_breakdown()
     obs.disable()
     print(f"[bench] trace written to {trace_path}")
 
     ks = np.asarray(grid["ks"], dtype=np.float64)
-    return {
+    record = {
         "benchmark": "fig4_uc1_grid",
         "scale": os.environ["REPRO_BENCH_SCALE"],
         "n_benchmarks": len(campaigns),
         "n_runs": cfg.n_runs,
         "n_workers": n_workers,
+        "tree_method": tree_method,
         "stages_s": timer.as_dict(),
+        "fit_breakdown_s": breakdown,
         "wall_s": wall,
         "ks_checksum": float(ks.sum()),
         "n_grid_rows": int(len(ks)),
         "dispatch": dispatch_bytes(summary),
         "obs": summary,
+    }
+    if tree_method != "exact":
+        # Re-run the same grid on the exact reference kernel (no
+        # instrumentation) for the speedup ratio and the KS drift bound.
+        ref_timer = StageTimer()
+        t_ref = time.perf_counter()
+        ref_grid = representation_model_grid(
+            campaigns, replace(cfg, tree_method="exact"), timer=ref_timer
+        )
+        ref_wall = time.perf_counter() - t_ref
+        ref_ks = np.asarray(ref_grid["ks"], dtype=np.float64)
+        record["exact_reference"] = {
+            "fit_s": ref_timer.as_dict().get("fit"),
+            "wall_s": ref_wall,
+            "ks_checksum": float(ref_ks.sum()),
+        }
+        record["ks_drift_max_vs_exact"] = float(np.abs(ks - ref_ks).max())
+    return record
+
+
+def fit_breakdown() -> dict:
+    """Per-stage fit-time totals from the live obs registry.
+
+    Histogram totals are parent-process only — tree fits dispatched to
+    pool workers time themselves in the worker and are not aggregated
+    here (see the telemetry caveat in docs/OBSERVABILITY.md).
+    """
+    from repro.obs.trace_io import trace_records
+
+    hists = {
+        r["name"]: r for r in trace_records() if r.get("type") == "histogram"
+    }
+
+    def total(name: str) -> float:
+        rec = hists.get(name)
+        return float(rec["total"]) if rec else 0.0
+
+    return {
+        "binning_s": total("tree.bin_s"),
+        "split_search_s": total("tree.split_search_s"),
+        "leaf_s": total("tree.leaf_s"),
     }
 
 
@@ -131,8 +183,19 @@ def main() -> int:
     record = run_grid()
     stages = " | ".join(f"{k} {v:.2f}s" for k, v in record["stages_s"].items())
     print(f"[bench] {record['benchmark']} scale={record['scale']} "
-          f"workers={record['n_workers']}: {stages} (wall {record['wall_s']:.2f}s)")
+          f"workers={record['n_workers']} tree_method={record['tree_method']}: "
+          f"{stages} (wall {record['wall_s']:.2f}s)")
     print(f"[bench] ks_checksum={record['ks_checksum']!r}")
+    if "exact_reference" in record:
+        ref = record["exact_reference"]
+        hist_fit = record["stages_s"].get("fit") or 0.0
+        ratio = (ref["fit_s"] / hist_fit) if hist_fit else None
+        print(
+            f"[bench] exact reference fit {ref['fit_s']:.2f}s vs hist "
+            f"{hist_fit:.2f}s"
+            + (f" ({ratio:.1f}x)" if ratio else "")
+            + f"; ks_drift_max_vs_exact={record['ks_drift_max_vs_exact']:.3g}"
+        )
     d = record["dispatch"]
     factor = d["reduction_factor"]
     print(
