@@ -1,7 +1,9 @@
 """Parallel execution harness: deterministic seeding, process-pool map,
-the persistent worker pool and its shared-memory zero-copy data plane."""
+the persistent worker pool and its shared-memory zero-copy data plane,
+and spawned long-lived server processes for the serving fleet."""
 
 from .pool import default_workers, parallel_map
+from .procs import ProcessStartupError, SpawnedProcess
 from .seeding import seed_for, spawn_generators, stable_hash
 from .shm import ArrayRef, SharedArrayStore, attach, shm_available
 from .worker_pool import WorkerPool
@@ -17,4 +19,6 @@ __all__ = [
     "ArrayRef",
     "attach",
     "shm_available",
+    "SpawnedProcess",
+    "ProcessStartupError",
 ]

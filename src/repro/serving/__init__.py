@@ -14,7 +14,11 @@ layer on top of the core pipelines without touching their math.
   admission control, deadlines) with bit-identical outputs;
 * :mod:`~repro.serving.server` — stdlib-asyncio JSONL-over-TCP server,
   background :class:`ServerHandle`, and the blocking
-  :class:`ServingClient`.
+  :class:`ServingClient`;
+* :mod:`~repro.serving.fleet` — sharded multi-process fleet: N shard
+  processes behind one router, rendezvous-hashed model placement,
+  hot-model replica rotation, and Kingman queueing-aware admission
+  (operations guide in ``docs/FLEET.md``).
 
 Quickstart::
 

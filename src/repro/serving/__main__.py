@@ -4,11 +4,15 @@ Subcommands:
 
 * ``serve`` — fit (or reuse) a use-case-1 model into the registry and
   serve it over TCP until interrupted;
+* ``fleet`` — same fit-or-reuse step, then a sharded multi-process
+  fleet (router + N shard processes with Kingman admission) until
+  interrupted;
 * ``models`` — list the registry's stored models and tags.
 
 Example::
 
     python -m repro.serving serve --system intel --port 7070
+    python -m repro.serving fleet --n-shards 2 --port 7070
     python -m repro.serving models --root results/models
 """
 
@@ -26,22 +30,52 @@ __all__ = ["main"]
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Fit-or-load a model, start the server, block until Ctrl-C."""
+    registry = _fit_or_reuse(args)
+    config = ServingConfig(plane=args.plane, n_workers=args.n_workers)
+    with ServerHandle(registry, config, port=args.port) as server:
+        print(f"serving {args.tag!r} on 127.0.0.1:{server.port} (Ctrl-C to stop)")
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            print("stopping")
+    return 0
+
+
+def _fit_or_reuse(args: argparse.Namespace) -> ModelRegistry:
+    """Shared fit-or-load step for the ``serve`` and ``fleet`` commands."""
     from ..core.config import PredictConfig
     from ..core.predictors import FewRunsPredictor
     from ..simbench import measure_all
 
     registry = ModelRegistry(args.root)
-    tag = args.tag
-    if tag not in registry.store.tags():
+    if args.tag not in registry.store.tags():
         campaigns = measure_all(args.system, n_runs=args.n_runs)
         predictor = FewRunsPredictor.from_config(
             PredictConfig(model=args.model, representation=args.representation)
         ).fit(campaigns)
-        registry.save(predictor, name=tag)
-        print(f"fitted and saved model tagged {tag!r}")
-    config = ServingConfig(plane=args.plane, n_workers=args.n_workers)
-    with ServerHandle(registry, config, port=args.port) as server:
-        print(f"serving {tag!r} on 127.0.0.1:{server.port} (Ctrl-C to stop)")
+        registry.save(predictor, name=args.tag)
+        print(f"fitted and saved model tagged {args.tag!r}")
+    return registry
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Fit-or-load a model, start a sharded fleet, block until Ctrl-C."""
+    from .fleet import AdmissionConfig, FleetHandle
+
+    registry = _fit_or_reuse(args)
+    admission = AdmissionConfig(knee=args.knee, rho_max=args.rho_max)
+    with FleetHandle(
+        str(registry.root),
+        args.n_shards,
+        serving_config=ServingConfig(),
+        admission_config=admission,
+        port=args.port,
+        n_replicas=args.n_replicas,
+    ) as fleet:
+        print(
+            f"fleet of {args.n_shards} shards serving {args.tag!r} on "
+            f"127.0.0.1:{fleet.port} (Ctrl-C to stop)"
+        )
         try:
             threading.Event().wait()
         except KeyboardInterrupt:
@@ -81,6 +115,22 @@ def main(argv=None) -> int:
     serve_p.add_argument("--plane", choices=("thread", "pool"), default="thread")
     serve_p.add_argument("--n-workers", type=int, default=1)
     serve_p.set_defaults(func=_cmd_serve)
+
+    fleet_p = sub.add_parser(
+        "fleet", help="fit-or-load a model and serve it from a sharded fleet"
+    )
+    fleet_p.add_argument("--root", default=DEFAULT_MODEL_ROOT)
+    fleet_p.add_argument("--tag", default="default")
+    fleet_p.add_argument("--system", default="intel")
+    fleet_p.add_argument("--model", default="knn")
+    fleet_p.add_argument("--representation", default="pearsonrnd")
+    fleet_p.add_argument("--n-runs", type=int, default=300)
+    fleet_p.add_argument("--port", type=int, default=0)
+    fleet_p.add_argument("--n-shards", type=int, default=2)
+    fleet_p.add_argument("--n-replicas", type=int, default=2)
+    fleet_p.add_argument("--knee", type=float, default=4.0)
+    fleet_p.add_argument("--rho-max", type=float, default=0.95)
+    fleet_p.set_defaults(func=_cmd_fleet)
 
     models_p = sub.add_parser("models", help="list stored models")
     models_p.add_argument("--root", default=DEFAULT_MODEL_ROOT)

@@ -1,0 +1,131 @@
+"""Close the loop: predict the fleet's own p99 with the UC1 pipeline.
+
+The paper's use case 1 (:class:`~repro.core.predictors.FewRunsPredictor`)
+predicts a performance-variability distribution from a few probe runs of
+a workload.  The serving fleet is itself such a workload: every routed
+request is a "run" whose runtime is the router-observed end-to-end
+latency and whose "hardware counters" are the router-side covariates
+captured at arrival (fleet in-flight depth, serving shard ordinal).
+
+This module turns the router's bounded sample buffer
+(:meth:`~repro.serving.fleet.router.FleetRouter.latency_samples` /
+the ``fleet`` op with ``samples: true``) into
+:class:`~repro.data.dataset.RunCampaign` segments, trains UC1 on the
+early segments, probes the held-out final segment with a handful of
+runs, and compares the predicted p99 latency against the measured one —
+the feedback figure the bench harness reports.
+
+Two honest caveats, stated here because the numbers land in
+``results/BENCH_serving.json``:
+
+* the "counters" are queue-state covariates, not hardware counters —
+  the pipeline is exercised end to end, but feature quality differs
+  from the paper's PAPI set;
+* segments of one load run are *not* independent campaigns (adjacent
+  latencies correlate through the queue), so the prediction error here
+  is a smoke-level sanity figure, not a claim from the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.predictors import FewRunsPredictor
+from ...data.dataset import RunCampaign
+from ...errors import ValidationError
+
+__all__ = ["samples_to_campaign", "predict_fleet_p99"]
+
+#: Metric names attached to the router-covariate "counter" columns.
+SAMPLE_METRICS = ("fleet_inflight", "fleet_shard_ord")
+
+
+def samples_to_campaign(
+    samples,
+    *,
+    benchmark: str = "fleet/router",
+    system: str = "fleet",
+) -> RunCampaign:
+    """Router ``(latency_s, inflight, shard_ord)`` samples as a campaign.
+
+    Latencies become the runtimes; the two covariates become counter
+    *totals* (shifted by +1 so per-second rates stay strictly positive
+    for the log-rate features).
+    """
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] != 3:
+        raise ValidationError(
+            f"expected (n, 3) latency samples, got shape {arr.shape}"
+        )
+    if arr.shape[0] < 2:
+        raise ValidationError("need at least 2 latency samples")
+    runtimes = arr[:, 0]
+    counters = arr[:, 1:3] + 1.0
+    return RunCampaign(benchmark, system, runtimes, counters, SAMPLE_METRICS)
+
+
+def predict_fleet_p99(
+    samples,
+    *,
+    n_segments: int = 4,
+    n_probe_runs: int = 8,
+    seed: int = 0,
+) -> dict:
+    """UC1 feedback: predicted vs measured p99 of the fleet's latency.
+
+    The sample stream is cut into *n_segments* equal contiguous
+    segments; the first ``n_segments - 1`` train a
+    :class:`~repro.core.predictors.FewRunsPredictor` (each segment one
+    "benchmark"), the last is held out.  *n_probe_runs* runs of the
+    held-out segment form the probe; the predicted relative-time
+    distribution is rescaled by the probe's mean latency to an absolute
+    p99 and compared against the held-out segment's measured p99.
+
+    Returns a plain-JSON dict: predicted/measured p99 seconds, relative
+    error, and the split sizes.
+    """
+    if n_segments < 2:
+        raise ValidationError("n_segments must be >= 2 (train + held-out)")
+    if n_probe_runs < 2:
+        raise ValidationError("n_probe_runs must be >= 2")
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] != 3:
+        raise ValidationError(
+            f"expected (n, 3) latency samples, got shape {arr.shape}"
+        )
+    seg_len = arr.shape[0] // n_segments
+    if seg_len < max(n_probe_runs, 4):
+        raise ValidationError(
+            f"{arr.shape[0]} samples is too few for {n_segments} segments "
+            f"of >= {max(n_probe_runs, 4)} runs each"
+        )
+
+    segments = [
+        samples_to_campaign(
+            arr[i * seg_len : (i + 1) * seg_len], benchmark=f"fleet/seg{i}"
+        )
+        for i in range(n_segments)
+    ]
+    train = {c.benchmark: c for c in segments[:-1]}
+    held_out = segments[-1]
+
+    predictor = FewRunsPredictor(n_probe_runs=n_probe_runs, seed=seed)
+    predictor.fit(train)
+
+    probe = held_out.subset(range(n_probe_runs))
+    dist = predictor.predict_distribution(probe)
+    rng = np.random.default_rng(seed)
+    rel_draws = dist.sample(4096, rng=rng)
+    p99_predicted = float(np.quantile(rel_draws, 0.99) * probe.runtimes.mean())
+    p99_measured = float(np.quantile(held_out.runtimes, 0.99))
+    return {
+        "p99_predicted_s": p99_predicted,
+        "p99_measured_s": p99_measured,
+        "relative_error": float(
+            abs(p99_predicted - p99_measured) / p99_measured
+        ),
+        "n_samples": int(arr.shape[0]),
+        "n_segments": int(n_segments),
+        "segment_runs": int(seg_len),
+        "n_probe_runs": int(n_probe_runs),
+    }

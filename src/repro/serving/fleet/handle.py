@@ -1,0 +1,186 @@
+"""Synchronous fleet orchestrator: processes + router on one handle.
+
+:class:`FleetHandle` is the fleet counterpart of
+:class:`~repro.serving.server.ServerHandle`: construct it with a store
+root and a shard count, and it
+
+1. starts a :class:`~repro.serving.fleet.router.FleetRouter` on a
+   background event-loop thread and binds the client-facing port;
+2. spawns each shard as a :class:`~repro.parallel.procs.SpawnedProcess`
+   running :func:`~repro.serving.fleet.shard.run_shard`, waits for the
+   ready handshake (the bound port), and joins it to the router's
+   partition map;
+3. exposes synchronous ``add_shard`` / ``remove_shard`` / ``info`` /
+   ``close`` so tests, the bench harness, and the CLI drive rebalances
+   without touching asyncio.
+
+Teardown order is the graceful one end to end: the router drains every
+shard over TCP (the shard answers everything in flight and exits its
+own process), and only then does the handle escalate through
+``SpawnedProcess.stop`` — which at that point is a quick cooperative
+join.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from ..._validation import check_positive_int
+from ...errors import ValidationError
+from ...parallel.procs import SpawnedProcess
+from ..server import ServingClient
+from ..service import ServingConfig
+from .admission import AdmissionConfig
+from .messages import OP_FLEET, parse_shard_ready
+from .router import FleetRouter
+from .shard import run_shard
+
+__all__ = ["FleetHandle"]
+
+
+class FleetHandle:
+    """A running fleet: N shard processes behind one router endpoint."""
+
+    def __init__(
+        self,
+        store_root,
+        n_shards: int = 2,
+        *,
+        serving_config: ServingConfig | None = None,
+        admission_config: AdmissionConfig | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        n_replicas: int = 2,
+        hot_window: int = 128,
+        hot_threshold: int = 16,
+    ) -> None:
+        """Start the router and *n_shards* shard processes, fully joined."""
+        check_positive_int(n_shards, name="n_shards")
+        self._store_root = str(store_root)
+        self._serving_config = serving_config or ServingConfig()
+        self._admission_config = admission_config or AdmissionConfig()
+        self.host = host
+        self._next_shard = 0
+        self._procs: dict[str, SpawnedProcess] = {}
+        self.router = FleetRouter(
+            self._store_root,
+            n_replicas=n_replicas,
+            hot_window=hot_window,
+            hot_threshold=hot_threshold,
+        )
+
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._startup_error: BaseException | None = None
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.router.start(host=host, port=port))
+            except BaseException as exc:  # noqa: BLE001 — surfaced to ctor
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.router.stop(drain_shards=True))
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-fleet-router", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+
+        try:
+            for _ in range(n_shards):
+                self.add_shard()
+        except BaseException:
+            self.close()
+            raise
+
+    def _call(self, coro, timeout_s: float = 60.0):
+        """Run *coro* on the router loop from this synchronous thread."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(timeout_s)
+
+    @property
+    def port(self) -> int:
+        """Client-facing TCP port of the router."""
+        return self.router.port
+
+    @property
+    def shard_ids(self) -> list[str]:
+        """Sorted ids of the shards currently in the fleet."""
+        return sorted(self._procs)
+
+    def client(self, *, timeout_s: float = 30.0) -> ServingClient:
+        """A blocking JSONL client connected to the router endpoint."""
+        return ServingClient(self.host, self.port, timeout_s=timeout_s)
+
+    def add_shard(self, shard_id: str | None = None) -> str:
+        """Spawn one shard process and join it to the partition map."""
+        if shard_id is None:
+            shard_id = f"shard-{self._next_shard}"
+            self._next_shard += 1
+        if shard_id in self._procs:
+            raise ValidationError(f"shard {shard_id!r} already exists")
+        proc = SpawnedProcess(
+            run_shard,
+            shard_id,
+            self._store_root,
+            self._serving_config,
+            self._admission_config,
+            self.host,
+            name=f"repro-{shard_id}",
+        )
+        try:
+            _, shard_host, shard_port, _ = parse_shard_ready(proc.ready)
+            self._call(self.router.add_shard(shard_id, shard_host, shard_port))
+        except BaseException:
+            proc.stop(grace_s=0.0)
+            raise
+        self._procs[shard_id] = proc
+        return shard_id
+
+    def remove_shard(self, shard_id: str) -> None:
+        """Gracefully drain one shard out of the fleet and reap its process."""
+        if shard_id not in self._procs:
+            raise ValidationError(f"shard {shard_id!r} is not in the fleet")
+        self._call(self.router.remove_shard(shard_id, drain=True))
+        self._procs.pop(shard_id).stop(grace_s=10.0)
+
+    def info(self, *, samples: bool = False) -> dict:
+        """The ``fleet`` op, served locally: map + heartbeats (+ samples)."""
+        return self._call(self.router._fleet_op({"op": OP_FLEET, "samples": samples}))
+
+    def latency_samples(self) -> list:
+        """Router latency samples as ``(latency_s, inflight, shard_ord)``."""
+
+        async def grab():
+            return self.router.latency_samples()
+
+        return self._call(grab())
+
+    def close(self) -> None:
+        """Drain every shard, stop the router loop, reap all processes."""
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=60)
+        for shard_id in sorted(self._procs):
+            self._procs[shard_id].stop(grace_s=10.0)
+        self._procs.clear()
+
+    def __enter__(self) -> "FleetHandle":
+        """Context-manager entry (the fleet is already running)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the fleet."""
+        self.close()

@@ -1,0 +1,85 @@
+"""Fleet control-plane messages: shard handshake, health, drain.
+
+The fleet reuses the data plane's JSONL-over-TCP protocol
+(:mod:`repro.serving.protocol`) for its control plane — shards are
+ordinary serving endpoints that answer two extra ops:
+
+* ``health`` — heartbeat pull: the admission snapshot (ρ, Cs², wait
+  prediction, shed counts), service stats, and in-flight depth.  The
+  router polls this; there is no push channel to lose messages on.
+* ``drain`` — graceful leave: the shard acknowledges, stops accepting
+  connections, answers everything in flight, then exits its process.
+
+The only non-TCP message is the **ready handshake**: the one payload a
+freshly spawned shard process sends up its startup pipe
+(:class:`~repro.parallel.procs.SpawnedProcess`) announcing the port it
+bound.  Builders and parsers for all three shapes live here so the
+router, shard, and tests agree on field names by construction.
+"""
+
+from __future__ import annotations
+
+from ...errors import ValidationError
+
+__all__ = [
+    "OP_HEALTH",
+    "OP_DRAIN",
+    "OP_FLEET",
+    "shard_ready",
+    "parse_shard_ready",
+    "health_reply",
+    "drain_reply",
+]
+
+#: Extra op names shards (and the router, for ``fleet``) understand.
+OP_HEALTH = "health"
+OP_DRAIN = "drain"
+OP_FLEET = "fleet"
+
+
+def shard_ready(shard_id: str, host: str, port: int, pid: int) -> dict:
+    """Ready-handshake payload a shard sends once its socket is bound."""
+    return {
+        "kind": "shard_ready",
+        "shard_id": shard_id,
+        "host": host,
+        "port": int(port),
+        "pid": int(pid),
+    }
+
+
+def parse_shard_ready(payload) -> tuple[str, str, int, int]:
+    """Validate a ready payload; returns ``(shard_id, host, port, pid)``."""
+    if not isinstance(payload, dict) or payload.get("kind") != "shard_ready":
+        raise ValidationError(f"not a shard_ready payload: {payload!r}")
+    try:
+        return (
+            str(payload["shard_id"]),
+            str(payload["host"]),
+            int(payload["port"]),
+            int(payload["pid"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValidationError(f"malformed shard_ready payload: {exc}") from exc
+
+
+def health_reply(shard_id: str, admission_wire: dict, stats: dict, pending: int) -> dict:
+    """Body of a shard's ``health`` response (heartbeat pull)."""
+    return {
+        "status": 200,
+        "op": OP_HEALTH,
+        "shard_id": shard_id,
+        "admission": admission_wire,
+        "stats": stats,
+        "pending": int(pending),
+    }
+
+
+def drain_reply(shard_id: str, answered: int) -> dict:
+    """Body of a shard's ``drain`` acknowledgement (sent before exit)."""
+    return {
+        "status": 200,
+        "op": OP_DRAIN,
+        "shard_id": shard_id,
+        "answered": int(answered),
+    }

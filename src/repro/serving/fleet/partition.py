@@ -1,0 +1,127 @@
+"""Content-hash model partitioning: rendezvous hashing + replica sets.
+
+Models are already content-addressed — a model's identity *is* the
+sha256 of its serialized bytes (:mod:`repro.serving.artifacts`) — so the
+fleet partitions by hashing ``(shard_id, content_key)`` pairs with
+**rendezvous (highest-random-weight) hashing**: every shard gets a
+deterministic score per key, and a key's replica set is the top-scoring
+shards.  Two properties make this the right shape for rebalance:
+
+* **stability** — adding a shard only moves the keys whose new top
+  score belongs to that shard (an expected ``1/n`` fraction); removing
+  a shard only moves the keys it owned.  No other key changes owner, so
+  a rebalance invalidates the minimum possible amount of per-shard
+  registry-LRU warmth.
+* **determinism** — the map is a pure function of the shard-id set, so
+  every router (and every test) derives the identical assignment with
+  no coordination state beyond the membership list.
+
+A :class:`PartitionMap` is immutable; join/leave produce a *new* map
+with a bumped ``version``, which the router swaps in atomically and
+re-announces via the ``fleet`` op (see ``docs/FLEET.md`` for the
+lifecycle).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ...errors import ValidationError
+
+__all__ = ["PartitionMap", "shard_score"]
+
+
+def shard_score(shard_id: str, key: str) -> int:
+    """Deterministic HRW score of (*shard_id*, *key*): first 8 bytes of
+    sha256 over both, as an unsigned integer (larger wins)."""
+    digest = hashlib.sha256(f"{shard_id}\x00{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class PartitionMap:
+    """Immutable shard-membership snapshot with derived key placement.
+
+    Attributes
+    ----------
+    shards:
+        Sorted tuple of shard ids currently serving.
+    version:
+        Monotonic epoch; every join/leave bumps it by one.
+    n_replicas:
+        Replica-set size for hot-model routing (effective size is
+        ``min(n_replicas, len(shards))``).
+    """
+
+    shards: tuple[str, ...]
+    version: int = 0
+    n_replicas: int = 2
+
+    def __post_init__(self) -> None:
+        """Normalize/validate membership (sorted, unique, non-negative epoch)."""
+        ordered = tuple(sorted(self.shards))
+        if len(set(ordered)) != len(ordered):
+            raise ValidationError(f"duplicate shard ids in {ordered}")
+        object.__setattr__(self, "shards", ordered)
+        if self.version < 0:
+            raise ValidationError("version must be >= 0")
+        if self.n_replicas < 1:
+            raise ValidationError("n_replicas must be >= 1")
+
+    def replicas(self, key: str) -> tuple[str, ...]:
+        """Replica set for *key*: top-``n_replicas`` shards by HRW score.
+
+        Ordered best-first; element 0 is the primary.  Ties (astronomically
+        unlikely with 64-bit scores) break on shard id for determinism.
+        """
+        if not self.shards:
+            raise ValidationError("partition map has no shards")
+        ranked = sorted(
+            self.shards, key=lambda sid: (-shard_score(sid, key), sid)
+        )
+        return tuple(ranked[: self.n_replicas])
+
+    def primary(self, key: str) -> str:
+        """The shard owning *key* (best HRW score)."""
+        return self.replicas(key)[0]
+
+    def with_shard(self, shard_id: str) -> "PartitionMap":
+        """New map with *shard_id* joined and the version bumped."""
+        if shard_id in self.shards:
+            raise ValidationError(f"shard {shard_id!r} is already a member")
+        return PartitionMap(
+            self.shards + (shard_id,), self.version + 1, self.n_replicas
+        )
+
+    def without_shard(self, shard_id: str) -> "PartitionMap":
+        """New map with *shard_id* removed and the version bumped."""
+        if shard_id not in self.shards:
+            raise ValidationError(f"shard {shard_id!r} is not a member")
+        remaining = tuple(s for s in self.shards if s != shard_id)
+        return PartitionMap(remaining, self.version + 1, self.n_replicas)
+
+    def assignments(self, keys) -> dict[str, str]:
+        """Primary shard per key — the bench's per-shard breakdown helper."""
+        return {key: self.primary(key) for key in sorted(keys)}
+
+    def to_wire(self) -> dict:
+        """JSON-safe announcement form (the ``fleet`` op's ``map`` field)."""
+        return {
+            "version": self.version,
+            "shards": list(self.shards),
+            "n_replicas": self.n_replicas,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "PartitionMap":
+        """Inverse of :meth:`to_wire`, with validation."""
+        if not isinstance(payload, dict):
+            raise ValidationError("partition map must be a JSON object")
+        try:
+            shards = tuple(str(s) for s in payload["shards"])
+            version = int(payload["version"])
+            n_replicas = int(payload["n_replicas"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"malformed partition map payload: {exc}") from exc
+        return cls(shards, version, n_replicas)

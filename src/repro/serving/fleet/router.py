@@ -1,0 +1,422 @@
+"""Asyncio front router: one endpoint, N shard processes behind it.
+
+The router speaks the same JSONL protocol as a single server — existing
+:class:`~repro.serving.server.ServingClient` code points at the router
+port unchanged — and forwards ``predict`` requests to shard processes
+over persistent multiplexed links:
+
+* **placement** — the model tag is resolved to its content key against
+  the shared artifact store, and the key's shard comes from the
+  :class:`~repro.serving.fleet.partition.PartitionMap` (rendezvous
+  hashing, so placement is a pure function of fleet membership);
+* **replica routing for hot models** — a sliding window counts requests
+  per content key; keys above the hot threshold round-robin across
+  their replica set instead of pinning the primary (any replica returns
+  bit-identical answers, so spreading is free of correctness cost);
+* **graceful rebalance** — join/leave swaps in a *new* partition map
+  first (new arrivals route around the leaving shard), then drains the
+  shard's in-flight requests to completion, then closes the link: no
+  dropped responses, with the map re-announced (bumped ``version``)
+  through the ``fleet`` op;
+* **self-observation** — the router records its own end-to-end latency
+  samples (``fleet.latency_s`` plus a bounded in-memory buffer exposed
+  over the ``fleet`` op), which the bench harness feeds back through
+  the paper's UC1 pipeline (:mod:`repro.serving.fleet.feedback`).
+
+Shedding stays *at the shards* — each runs its own Kingman admission
+gate against its measured service times — and 429s relay through
+transparently; the router only answers 503 itself when a shard link is
+down or the fleet is empty.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+
+import numpy as np
+
+from ... import obs
+from ...errors import ArtifactError, ValidationError
+from ..protocol import encode_array, error, ok
+from ..registry import ModelRegistry
+from ..server import _MAX_LINE_BYTES, _handle_connection
+from .messages import OP_DRAIN, OP_FLEET, OP_HEALTH
+from .partition import PartitionMap
+
+__all__ = ["ShardLink", "FleetRouter"]
+
+#: Bound on the router's in-memory latency sample buffer.
+_SAMPLE_BUFFER = 4096
+
+
+class ShardLink:
+    """One persistent multiplexed connection from the router to a shard.
+
+    Requests are tagged with internal ids and futures; one reader task
+    demultiplexes response lines back to their futures, so any number of
+    forwarded requests share the single socket without head-of-line
+    coupling in the router.
+    """
+
+    def __init__(self, shard_id: str, host: str, port: int) -> None:
+        """Record the endpoint; ``await connect()`` before use."""
+        self.shard_id = shard_id
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._pending: dict[str, asyncio.Future] = {}
+        self._next_id = 0
+        self._closed = False
+
+    async def connect(self) -> None:
+        """Open the socket and start the response demultiplexer."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    @property
+    def alive(self) -> bool:
+        """Whether the link can accept new requests."""
+        return not self._closed and self._writer is not None
+
+    @property
+    def pending(self) -> int:
+        """Requests forwarded to this shard and not yet answered."""
+        return len(self._pending)
+
+    async def _read_loop(self) -> None:
+        """Demultiplex response lines to their waiting futures."""
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    response = json.loads(line)
+                except ValueError:
+                    continue  # torn line; the pending future fails at close
+                request_id = response.pop("id", None)
+                future = self._pending.pop(request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            self._fail_pending()
+
+    def _fail_pending(self) -> None:
+        """Resolve every outstanding future with a 503 (link lost)."""
+        self._closed = True
+        for request_id in sorted(self._pending):
+            future = self._pending.pop(request_id)
+            if not future.done():
+                future.set_result(
+                    error(503, f"shard {self.shard_id!r} connection lost")
+                )
+
+    async def request(self, payload: dict) -> dict:
+        """Forward one request; resolves with the shard's response."""
+        if not self.alive:
+            return error(503, f"shard {self.shard_id!r} is not connected")
+        self._next_id += 1
+        link_id = f"r{self._next_id}"
+        future = asyncio.get_running_loop().create_future()
+        self._pending[link_id] = future
+        wired = dict(payload)
+        wired["id"] = link_id
+        try:
+            self._writer.write(json.dumps(wired).encode() + b"\n")
+            await self._writer.drain()
+        except (ConnectionError, OSError):
+            self._fail_pending()
+            return error(503, f"shard {self.shard_id!r} connection lost")
+        # The reader loop already stripped our link id; the caller's own
+        # request id (if any) is re-attached by the router's connection
+        # layer when the response is written back.
+        return await future
+
+    async def drain(self) -> None:
+        """Wait until every forwarded request has been answered."""
+        while self._pending:
+            futures = [f for f in self._pending.values() if not f.done()]
+            if not futures:
+                break
+            await asyncio.wait(futures)
+
+    async def close(self) -> None:
+        """Stop the demultiplexer and close the socket."""
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._fail_pending()
+
+
+class FleetRouter:
+    """Partition-map router over a set of shard links.
+
+    Owns the client-facing listener, the partition map, the hot-model
+    window, and the router-side metric surface.  All state is touched
+    only from the router's event loop; synchronous orchestration goes
+    through :class:`~repro.serving.fleet.handle.FleetHandle`.
+    """
+
+    def __init__(
+        self,
+        store_root,
+        *,
+        n_replicas: int = 2,
+        hot_window: int = 128,
+        hot_threshold: int = 16,
+    ) -> None:
+        """Create an empty fleet over the shared store at *store_root*.
+
+        *hot_window* is how many recent predict keys the popularity
+        window remembers; a key seen at least *hot_threshold* times in
+        the window round-robins across its *n_replicas* rendezvous
+        replicas instead of pinning its primary shard.
+        """
+        self.registry = ModelRegistry(store_root)
+        self._map = PartitionMap((), version=0, n_replicas=n_replicas)
+        self._links: dict[str, ShardLink] = {}
+        self._hot_window = int(hot_window)
+        self._hot_threshold = int(hot_threshold)
+        self._recent: deque[str] = deque()
+        self._recent_counts: dict[str, int] = {}
+        self._rr: dict[str, int] = {}
+        self._samples: deque = deque(maxlen=_SAMPLE_BUFFER)
+        self._counters = {
+            "requests": 0,
+            "forwarded": 0,
+            "hot_hits": 0,
+            "errors": 0,
+            "rebalances": 0,
+        }
+        self._server: asyncio.AbstractServer | None = None
+        self._inflight: set = set()
+
+    @property
+    def partition_map(self) -> PartitionMap:
+        """Current partition map (immutable; swapped atomically)."""
+        return self._map
+
+    @property
+    def port(self) -> int:
+        """Bound client-facing TCP port."""
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self, *, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind the client-facing listener (``port=0`` = ephemeral)."""
+
+        async def on_connect(reader, writer):
+            try:
+                await _handle_connection(
+                    None, reader, writer, self._inflight, self._dispatch
+                )
+            except asyncio.CancelledError:
+                pass
+
+        self._server = await asyncio.start_server(
+            on_connect, host=host, port=port, limit=_MAX_LINE_BYTES
+        )
+
+    async def add_shard(self, shard_id: str, host: str, port: int) -> None:
+        """Join a shard: connect its link, then announce the new map.
+
+        The link comes up *before* the map swap so the first request
+        routed to the newcomer never sees a missing connection.
+        """
+        if shard_id in self._links:
+            raise ValidationError(f"shard {shard_id!r} already joined")
+        with obs.span("fleet.rebalance", kind="join", shard=shard_id):
+            link = ShardLink(shard_id, host, port)
+            await link.connect()
+            self._links[shard_id] = link
+            self._map = self._map.with_shard(shard_id)
+        self._counters["rebalances"] += 1
+        obs.counter("fleet.rebalances")
+        obs.gauge("fleet.shards", len(self._map.shards))
+        obs.gauge("fleet.map_version", self._map.version)
+
+    async def remove_shard(self, shard_id: str, *, drain: bool = True) -> None:
+        """Leave a shard gracefully: route away, drain, then disconnect.
+
+        The map swap happens *first* so new arrivals route around the
+        leaving shard while its in-flight requests finish; with *drain*
+        the shard is told to answer everything and exit before the link
+        closes — the zero-dropped-responses half of the rebalance
+        contract.
+        """
+        if shard_id not in self._links:
+            raise ValidationError(f"shard {shard_id!r} is not in the fleet")
+        with obs.span("fleet.rebalance", kind="leave", shard=shard_id):
+            self._map = self._map.without_shard(shard_id)
+            link = self._links.pop(shard_id)
+            if drain and link.alive:
+                await link.request({"op": OP_DRAIN})
+                await link.drain()
+            await link.close()
+        self._counters["rebalances"] += 1
+        obs.counter("fleet.rebalances")
+        obs.gauge("fleet.shards", len(self._map.shards))
+        obs.gauge("fleet.map_version", self._map.version)
+
+    async def stop(self, *, drain_shards: bool = True) -> None:
+        """Shut the fleet down: close the listener, drain, disconnect.
+
+        Mirrors :func:`~repro.serving.server.shutdown_server`: stop
+        accepting, flush in-flight answers, then take the shards down
+        (with their own graceful drain when *drain_shards*).
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = {task for task in self._inflight if not task.done()}
+        if pending:
+            await asyncio.wait(pending, timeout=5.0)
+        for shard_id in sorted(self._links):
+            link = self._links[shard_id]
+            if drain_shards and link.alive:
+                await link.request({"op": OP_DRAIN})
+                await link.drain()
+            await link.close()
+        self._links.clear()
+        current = asyncio.current_task()
+        leftovers = [t for t in asyncio.all_tasks() if t is not current]
+        for task in leftovers:
+            task.cancel()
+        if leftovers:
+            await asyncio.gather(*leftovers, return_exceptions=True)
+
+    def latency_samples(self) -> list:
+        """Copy of the bounded ``(latency_s, inflight, shard_ord)`` buffer."""
+        return list(self._samples)
+
+    def _route(self, key: str) -> list[str]:
+        """Candidate shard ids for *key*, best first (hot keys rotate)."""
+        replicas = list(self._map.replicas(key))
+        if len(self._recent) >= self._hot_window:
+            evicted = self._recent.popleft()
+            self._recent_counts[evicted] -= 1
+            if not self._recent_counts[evicted]:
+                del self._recent_counts[evicted]
+        self._recent.append(key)
+        self._recent_counts[key] = self._recent_counts.get(key, 0) + 1
+        if self._recent_counts[key] >= self._hot_threshold and len(replicas) > 1:
+            turn = self._rr.get(key, 0) % len(replicas)
+            self._rr[key] = turn + 1
+            self._counters["hot_hits"] += 1
+            obs.counter("fleet.hot_hits")
+            return replicas[turn:] + replicas[:turn]
+        return replicas
+
+    async def _predict(self, payload: dict) -> dict:
+        """Route one predict request to a shard and relay its answer."""
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        self._counters["requests"] += 1
+        obs.counter("fleet.requests")
+        model = payload.get("model")
+        if not isinstance(model, str) or not model:
+            return error(400, "request needs a 'model' tag or content key")
+        try:
+            key = self.registry.resolve(model)
+        except ArtifactError as exc:
+            return error(404, str(exc))
+        if not self._map.shards:
+            self._counters["errors"] += 1
+            obs.counter("fleet.router.errors")
+            return error(503, "fleet has no shards")
+        inflight = sum(
+            self._links[sid].pending for sid in self._map.shards if sid in self._links
+        )
+        response = None
+        chosen = None
+        for shard_id in self._route(key):
+            link = self._links.get(shard_id)
+            if link is None or not link.alive:
+                continue
+            self._counters["forwarded"] += 1
+            obs.counter("fleet.forwarded")
+            chosen = shard_id
+            response = await link.request(payload)
+            if response.get("status") != 503:
+                break
+        if response is None:
+            self._counters["errors"] += 1
+            obs.counter("fleet.router.errors")
+            return error(503, f"no live replica for model {key[:12]}")
+        if response.get("status") >= 500:
+            self._counters["errors"] += 1
+            obs.counter("fleet.router.errors")
+        latency_s = loop.time() - t0
+        obs.observe("fleet.latency_s", latency_s)
+        shard_ord = self._map.shards.index(chosen) if chosen in self._map.shards else 0
+        self._samples.append((latency_s, inflight, shard_ord))
+        return response
+
+    async def _stats_op(self) -> dict:
+        """``stats`` op: router counters plus every shard's counters."""
+        shards: dict[str, dict] = {}
+        for shard_id in sorted(self._links):
+            link = self._links[shard_id]
+            if not link.alive:
+                shards[shard_id] = error(503, "link down")
+                continue
+            reply = await link.request({"op": "stats"})
+            shards[shard_id] = reply.get("stats", reply)
+        return ok(stats=dict(self._counters), shards=shards)
+
+    async def _fleet_op(self, payload: dict) -> dict:
+        """``fleet`` op: the map announcement + pulled shard heartbeats.
+
+        With ``"samples": true`` the response also carries the router's
+        latency sample buffer as a base64 ``(n, 3)`` float64 array
+        (latency seconds, fleet in-flight depth at arrival, shard
+        ordinal) — the raw material for the UC1 feedback loop.
+        """
+        health: dict[str, dict] = {}
+        for shard_id in sorted(self._links):
+            link = self._links[shard_id]
+            if link.alive:
+                health[shard_id] = await link.request({"op": OP_HEALTH})
+            else:
+                health[shard_id] = error(503, "link down")
+        body = ok(map=self._map.to_wire(), router=dict(self._counters), health=health)
+        if payload.get("samples"):
+            samples = np.asarray(list(self._samples), dtype=np.float64)
+            samples = samples.reshape(-1, 3)
+            body["latency_samples"] = encode_array(samples)
+            body["latency_samples_shape"] = list(samples.shape)
+        return body
+
+    async def _dispatch(self, service, payload: dict) -> dict:
+        """Connection-layer handler (the *service* slot is unused)."""
+        op = payload.get("op", "predict")
+        if op == "predict":
+            return await self._predict(payload)
+        if op == "ping":
+            return {"status": 200, "op": "ping"}
+        if op == "models":
+            return {"status": 200, "models": self.registry.available()}
+        if op == "stats":
+            return await self._stats_op()
+        if op == OP_FLEET:
+            return await self._fleet_op(payload)
+        return error(400, f"unknown op {op!r}")

@@ -14,8 +14,10 @@ parameters).  Two requests with equal fingerprints are guaranteed equal
 answers, which is what makes response caching bit-safe.
 
 Status codes follow HTTP conventions so clients can reuse familiar
-handling: 200 ok, 400 malformed request, 404 unknown model, 429 queue
-full (backpressure), 504 deadline expired, 500 internal error.
+handling: 200 ok, 400 malformed request, 404 unknown model, 429 load
+shed (backpressure — fixed queue bound or Kingman admission), 503
+shutting down / shard unavailable, 504 deadline expired, 500 internal
+error.
 """
 
 from __future__ import annotations

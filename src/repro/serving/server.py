@@ -33,7 +33,7 @@ from .protocol import error
 from .registry import ModelRegistry
 from .service import PredictionService, ServingConfig
 
-__all__ = ["serve", "ServerHandle", "ServingClient"]
+__all__ = ["serve", "shutdown_server", "ServerHandle", "ServingClient"]
 
 #: Upper bound on one request line; guards the reader against a
 #: malicious or broken client streaming an unbounded line.
@@ -58,19 +58,28 @@ async def _handle_connection(
     service: PredictionService,
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
+    inflight: set | None = None,
+    dispatch=None,
 ) -> None:
-    """Serve one client connection until EOF.
+    """Serve one client connection until EOF (or drain-time cancellation).
 
     Requests on a connection run as concurrent tasks (so a slow predict
     does not block a ping behind it); a per-connection lock serializes
-    writes so responses never interleave mid-line.
+    writes so responses never interleave mid-line.  Answer tasks are
+    registered in the server-wide *inflight* set so a draining server
+    can wait for pending responses to be written before sockets close.
+    Cancellation while blocked on ``readline`` means "drain": stop
+    reading, but still flush every response already in flight.  A
+    *dispatch* override lets the fleet router reuse this connection
+    machinery with its own request handler.
     """
     write_lock = asyncio.Lock()
     tasks: list[asyncio.Task] = []
+    handle = dispatch if dispatch is not None else _handle_request
 
     async def answer(payload: dict, request_id) -> None:
         try:
-            response = await _handle_request(service, payload)
+            response = await handle(service, payload)
         except Exception as exc:  # noqa: BLE001 — connection must survive
             response = error(500, f"{type(exc).__name__}: {exc}")
         if request_id is not None:
@@ -85,6 +94,8 @@ async def _handle_connection(
                 line = await reader.readline()
             except (ValueError, ConnectionError):
                 break
+            except asyncio.CancelledError:
+                break  # draining: stop reading, flush in-flight answers
             if not line:
                 break
             if len(line) > _MAX_LINE_BYTES:
@@ -97,9 +108,13 @@ async def _handle_connection(
             if not isinstance(payload, dict):
                 await answer_malformed(writer, write_lock)
                 continue
-            tasks.append(asyncio.get_running_loop().create_task(
+            task = asyncio.get_running_loop().create_task(
                 answer(payload, payload.get("id"))
-            ))
+            )
+            tasks.append(task)
+            if inflight is not None:
+                inflight.add(task)
+                task.add_done_callback(inflight.discard)
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
     finally:
@@ -127,18 +142,35 @@ async def serve(
     host: str = "127.0.0.1",
     port: int = 0,
     pool=None,
+    admission=None,
+    inflight: set | None = None,
+    extra_ops: dict | None = None,
 ) -> tuple[asyncio.AbstractServer, PredictionService]:
     """Start a server inside the running loop; returns (server, service).
 
     ``port=0`` binds an ephemeral port — read it back from
-    ``server.sockets[0].getsockname()[1]``.
+    ``server.sockets[0].getsockname()[1]``.  Pass an *admission* gate to
+    replace the fixed ``queue_limit`` policy (fleet shards pass a
+    :class:`~repro.serving.fleet.admission.KingmanAdmission`), an
+    *inflight* set to observe pending answer tasks during drain, and
+    *extra_ops* (``op -> async handler(service, payload)``) to extend
+    the protocol (shards add ``health``/``drain``).
     """
-    service = PredictionService(registry, config, pool=pool)
+    service = PredictionService(registry, config, pool=pool, admission=admission)
     await service.start()
+
+    if extra_ops:
+        async def dispatch(svc, payload):
+            handler = extra_ops.get(payload.get("op"))
+            if handler is not None:
+                return await handler(svc, payload)
+            return await _handle_request(svc, payload)
+    else:
+        dispatch = None
 
     async def on_connect(reader, writer):
         try:
-            await _handle_connection(service, reader, writer)
+            await _handle_connection(service, reader, writer, inflight, dispatch)
         except asyncio.CancelledError:
             # Server shutdown cancels in-flight connection tasks; a
             # dying connection is the expected outcome, not an error.
@@ -148,6 +180,39 @@ async def serve(
         on_connect, host=host, port=port, limit=_MAX_LINE_BYTES
     )
     return server, service
+
+
+async def shutdown_server(
+    server: asyncio.AbstractServer,
+    service: PredictionService,
+    inflight: set | None = None,
+    *,
+    grace_s: float = 5.0,
+) -> None:
+    """Graceful drain: every in-flight request is answered, then close.
+
+    The sequence is load-bearing for shard rebalance (and was the PR-5
+    drain bug): (1) stop accepting connections, (2) drain the batch
+    queue — every accepted request's future resolves, to a real answer
+    or a 503, (3) wait up to *grace_s* for pending answer tasks to
+    write their responses, and only then (4) cancel the connection
+    handlers still blocked reading from idle keepalive sockets.
+    Cancelling before step 3 is what used to drop responses on the
+    floor.
+    """
+    server.close()
+    await server.wait_closed()
+    await service.close()
+    if inflight:
+        pending = {task for task in inflight if not task.done()}
+        if pending:
+            await asyncio.wait(pending, timeout=grace_s)
+    current = asyncio.current_task()
+    leftovers = [t for t in asyncio.all_tasks() if t is not current]
+    for task in leftovers:
+        task.cancel()
+    if leftovers:
+        await asyncio.gather(*leftovers, return_exceptions=True)
 
 
 class ServerHandle:
@@ -173,6 +238,7 @@ class ServerHandle:
         self._server: asyncio.AbstractServer | None = None
         self._service: PredictionService | None = None
         self._startup_error: BaseException | None = None
+        self._inflight: set = set()
 
         def run() -> None:
             loop = asyncio.new_event_loop()
@@ -180,7 +246,14 @@ class ServerHandle:
             self._loop = loop
             try:
                 self._server, self._service = loop.run_until_complete(
-                    serve(registry, config, host=host, port=port, pool=pool)
+                    serve(
+                        registry,
+                        config,
+                        host=host,
+                        port=port,
+                        pool=pool,
+                        inflight=self._inflight,
+                    )
                 )
             except BaseException as exc:  # noqa: BLE001 — surfaced to ctor
                 self._startup_error = exc
@@ -202,15 +275,7 @@ class ServerHandle:
             raise self._startup_error
 
     async def _shutdown(self) -> None:
-        self._server.close()
-        await self._server.wait_closed()
-        await self._service.close()
-        current = asyncio.current_task()
-        leftovers = [t for t in asyncio.all_tasks() if t is not current]
-        for task in leftovers:
-            task.cancel()
-        if leftovers:
-            await asyncio.gather(*leftovers, return_exceptions=True)
+        await shutdown_server(self._server, self._service, self._inflight)
 
     @property
     def port(self) -> int:

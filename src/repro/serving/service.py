@@ -15,9 +15,15 @@ into few batched evaluations without changing a single output bit:
   see :func:`~repro.serving.protocol.request_fingerprint`).  Because
   equal fingerprints imply equal answers, a cache hit can only ever
   replay the identical response.
-* **Admission control** — at most ``queue_limit`` requests may be
-  in flight; beyond that, new requests are rejected immediately with a
-  429-style response instead of growing an unbounded queue.
+* **Admission control** — by default at most ``queue_limit`` requests
+  may be in flight; beyond that, new requests are rejected immediately
+  with a 429-style response instead of growing an unbounded queue.
+  The fixed count is **deprecated in favor of queueing-aware
+  admission**: pass an ``admission`` gate (see
+  :class:`repro.serving.fleet.admission.KingmanAdmission`) and the
+  service sheds on predicted Kingman wait (utilization × variability)
+  instead of a blind depth bound — the policy every fleet shard runs
+  (migration notes in ``docs/SERVING.md``).
 * **Deadlines** — every request carries a deadline (client-supplied or
   ``default_deadline_s``); a request that cannot be answered in time
   resolves to a 504-style response and its slot is reclaimed.
@@ -139,14 +145,21 @@ class PredictionService:
         config: ServingConfig | None = None,
         *,
         pool=None,
+        admission=None,
     ) -> None:
         """Create a service over *registry*; ``await start()`` before use.
 
         A pre-built :class:`~repro.parallel.worker_pool.WorkerPool` may
         be passed for the pool plane; otherwise one is created lazily.
+        An *admission* gate (duck-typed to
+        :class:`~repro.serving.fleet.admission.KingmanAdmission`)
+        replaces the fixed ``queue_limit`` policy: its ``admit()``
+        decides per arrival and ``observe(service_s)`` is fed measured
+        per-request service times.
         """
         self.registry = registry
         self.config = config or ServingConfig()
+        self.admission = admission
         self._pool = pool
         self._cache: OrderedDict[str, dict] = OrderedDict()
         self._queue: asyncio.Queue | None = None
@@ -162,6 +175,7 @@ class PredictionService:
             "cache_misses": 0,
             "batches": 0,
             "batched_requests": 0,
+            "drained": 0,
         }
         self._batch_sizes: dict[int, int] = {}
 
@@ -180,12 +194,28 @@ class PredictionService:
         self._batch_task = asyncio.get_running_loop().create_task(self._batch_loop())
 
     async def close(self) -> None:
-        """Drain and stop the batch loop; shut down execution resources."""
+        """Drain and stop the batch loop; shut down execution resources.
+
+        Every request enqueued before (or racing) the shutdown marker is
+        answered: the batch loop executes what it can, and anything
+        still queued afterwards resolves to a 503 response rather than a
+        silently dropped future — the invariant graceful shard drain
+        relies on.
+        """
         if self._batch_task is None:
             return
         await self._queue.put(_SHUTDOWN)
         await self._batch_task
         self._batch_task = None
+        while not self._queue.empty():
+            leftover = self._queue.get_nowait()
+            if leftover is _SHUTDOWN:
+                continue
+            if not leftover.future.done():
+                self._stats["drained"] += 1
+                leftover.future.set_result(
+                    error(503, "service is shutting down; request not executed")
+                )
         self._executor.shutdown(wait=True)
         self._executor = None
 
@@ -229,7 +259,16 @@ class PredictionService:
             self._stats["cache_misses"] += 1
             obs.counter("serving.cache.misses")
 
-        if self._pending >= self.config.queue_limit:
+        if self.admission is not None:
+            if not self.admission.admit():
+                self._stats["rejected"] += 1
+                obs.counter("serving.rejected")
+                return error(
+                    429,
+                    "shed before the Kingman knee "
+                    f"({self.admission.describe()}); retry later",
+                )
+        elif self._pending >= self.config.queue_limit:
             self._stats["rejected"] += 1
             obs.counter("serving.rejected")
             return error(
@@ -325,6 +364,7 @@ class PredictionService:
             groups.setdefault(request.model_key, []).append(request)
         loop = asyncio.get_running_loop()
         for model_key, requests in groups.items():
+            t0 = loop.time()
             with obs.span(
                 "serving.batch",
                 model=model_key,
@@ -340,6 +380,14 @@ class PredictionService:
                     obs.counter("serving.errors")
                     kind = type(exc).__name__
                     responses = [error(500, f"{kind}: {exc}")] * len(requests)
+            if self.admission is not None:
+                # Per-request service effort: the group's executor wall
+                # time amortized across its requests (batching shares
+                # hydration/scheduling, so the amortized cost is the
+                # honest per-request figure for the queueing model).
+                per_request_s = (loop.time() - t0) / len(requests)
+                for _ in requests:
+                    self.admission.observe(per_request_s)
             for request, response in zip(requests, responses):
                 if not request.future.done():
                     request.future.set_result(response)

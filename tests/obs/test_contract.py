@@ -51,6 +51,8 @@ class TestContractDoc:
             "pool.map.calls",
             "stage",
             "cell",
+            "fleet.shed",
+            "fleet.rebalance",
         ):
             assert expected in names
 
