@@ -16,10 +16,14 @@ queue bound admits deep into the knee on variable workloads and sheds
 needlessly on uniform ones.
 
 :class:`KingmanAdmission` instead tracks a sliding window of measured
-service times and arrival timestamps and sheds load (429) when the
-*predicted* normalized wait ρ/(1−ρ)·(Ca²+Cs²)/2 exceeds a configured
-wait budget ``knee`` (in units of mean service times), or when ρ
-crosses a hard cap ``rho_max``.  The shed threshold in ρ terms — the
+service times and *admitted* arrival timestamps and sheds load (429)
+when the *predicted* normalized wait ρ/(1−ρ)·(Ca²+Cs²)/2 exceeds a
+configured wait budget ``knee`` (in units of mean service times), or
+when ρ crosses a hard cap ``rho_max``.  λ̂ deliberately measures
+admitted load, not offered load: shed requests (including client
+retries of them) never enter the window, and the decision-time rate
+estimate spans to the current clock, so sustained shedding decays ρ
+and the gate recovers instead of latching shut.  The shed threshold in ρ terms — the
 documented "Kingman knee" — is therefore
 
     ρ*  =  2·knee / (2·knee + Ca² + Cs²)
@@ -233,8 +237,24 @@ class KingmanAdmission:
         self._service_s.append(float(service_s))
         obs.observe("fleet.service_s", float(service_s))
 
-    def _arrival_rate(self) -> float:
-        """λ̂: arrivals per second over the current window."""
+    def _arrival_rate(self, now: float | None = None) -> float:
+        """λ̂: *admitted* arrivals per second over the current window.
+
+        Only admitted arrivals are recorded (see :meth:`admit`), so λ̂
+        measures load actually entering the queue, not offered load.
+        When *now* is given (the decision-time form used by ``admit``),
+        the candidate arrival counts as the next event and the elapsed
+        span runs to *now* — so while the gate sheds, time passing with
+        nothing admitted decays λ̂ and ρ, and the gate recovers instead
+        of latching shut under a client retry storm.
+        """
+        if now is not None:
+            if not self._arrivals:
+                return 0.0
+            elapsed = now - self._arrivals[0]
+            if elapsed <= 0.0:
+                return math.inf
+            return len(self._arrivals) / elapsed
         if len(self._arrivals) < 2:
             return 0.0
         elapsed = self._arrivals[-1] - self._arrivals[0]
@@ -263,8 +283,12 @@ class KingmanAdmission:
             return 0.0  # degenerate window (all-zero timings): no variability
         return cs2_from_percentiles(p50, p99)
 
-    def snapshot(self) -> AdmissionSnapshot:
-        """Current estimates, wait prediction, threshold, and counters."""
+    def snapshot(self, *, now: float | None = None) -> AdmissionSnapshot:
+        """Current estimates, wait prediction, threshold, and counters.
+
+        *now* switches λ̂ to the decision-time form (candidate arrival
+        included, elapsed measured to *now*) used by :meth:`admit`.
+        """
         n = len(self._service_s)
         if n < 2:
             return AdmissionSnapshot(
@@ -277,7 +301,7 @@ class KingmanAdmission:
         mean_s = float(samples.mean())
         ca2 = self._ca2()
         cs2 = self._cs2()
-        rho = min(self._arrival_rate() * mean_s / self.config.servers, 1.0)
+        rho = min(self._arrival_rate(now) * mean_s / self.config.servers, 1.0)
         if rho < 1.0:
             wait_s = rho / (1.0 - rho) * (ca2 + cs2) / 2.0 * mean_s
         else:
@@ -298,25 +322,32 @@ class KingmanAdmission:
         )
 
     def admit(self) -> bool:
-        """Record one arrival and decide: admit (True) or shed (False).
+        """Decide one arrival: admit (True) or shed (False).
 
         Admits unconditionally until ``min_samples`` service times have
         been measured; afterwards sheds when ρ ≥ rho_max or when the
         predicted Kingman wait exceeds the ``knee`` budget — i.e. at
         ρ ≥ ρ* = 2·knee/(2·knee + Ca² + Cs²), *before* the hyperbolic
         blow-up rather than after a queue has already formed.
+
+        Only *admitted* arrivals enter the λ̂ window: ρ then reflects
+        load actually entering the queue, so a retry storm of shed
+        requests cannot keep ρ pinned above ρ* — idle-while-shedding
+        time decays λ̂ (see :meth:`_arrival_rate`) and the gate reopens.
         """
-        self._arrivals.append(float(self._clock()))
+        now = float(self._clock())
         if len(self._service_s) < self.config.min_samples:
+            self._arrivals.append(now)
             self._admitted += 1
             return True
-        snap = self.snapshot()
+        snap = self.snapshot(now=now)
         obs.gauge("fleet.rho", snap.rho)
         obs.gauge("fleet.cs2", snap.cs2)
         if snap.rho >= snap.rho_knee:
             self._shed += 1
             obs.counter("fleet.shed")
             return False
+        self._arrivals.append(now)
         self._admitted += 1
         return True
 

@@ -73,9 +73,15 @@ class ShardLink:
         self._closed = False
 
     async def connect(self) -> None:
-        """Open the socket and start the response demultiplexer."""
+        """Open the socket and start the response demultiplexer.
+
+        The stream limit must match the server's — predict responses
+        carry base64 float64 arrays far beyond asyncio's default 64 KiB
+        ``StreamReader`` limit, and an over-limit ``readline()`` raises
+        instead of returning the line.
+        """
         self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port
+            self.host, self.port, limit=_MAX_LINE_BYTES
         )
         self._reader_task = asyncio.get_running_loop().create_task(
             self._read_loop()
@@ -102,11 +108,15 @@ class ShardLink:
                     response = json.loads(line)
                 except ValueError:
                     continue  # torn line; the pending future fails at close
+                if not isinstance(response, dict):
+                    continue  # non-object line: nothing to demultiplex
                 request_id = response.pop("id", None)
                 future = self._pending.pop(request_id, None)
                 if future is not None and not future.done():
                     future.set_result(response)
-        except (ConnectionError, OSError, asyncio.CancelledError):
+        except (ConnectionError, OSError, ValueError, asyncio.CancelledError):
+            # ValueError covers an over-limit readline(): the stream is
+            # beyond recovery mid-line, so treat it like a lost link.
             pass
         finally:
             self._fail_pending()
@@ -362,7 +372,10 @@ class FleetRouter:
             self._counters["errors"] += 1
             obs.counter("fleet.router.errors")
             return error(503, f"no live replica for model {key[:12]}")
-        if response.get("status") >= 500:
+        status = response.get("status")
+        if not isinstance(status, int) or status >= 500:
+            # a reply without an integer status is malformed: count it,
+            # but still relay rather than crash the connection handler
             self._counters["errors"] += 1
             obs.counter("fleet.router.errors")
         latency_s = loop.time() - t0

@@ -15,15 +15,17 @@ into few batched evaluations without changing a single output bit:
   see :func:`~repro.serving.protocol.request_fingerprint`).  Because
   equal fingerprints imply equal answers, a cache hit can only ever
   replay the identical response.
-* **Admission control** — by default at most ``queue_limit`` requests
-  may be in flight; beyond that, new requests are rejected immediately
-  with a 429-style response instead of growing an unbounded queue.
-  The fixed count is **deprecated in favor of queueing-aware
-  admission**: pass an ``admission`` gate (see
+* **Admission control** — at most ``queue_limit`` requests may be in
+  flight; beyond that, new requests are rejected immediately with a
+  429-style response instead of growing an unbounded queue.  The fixed
+  count as the *primary* policy is **deprecated in favor of
+  queueing-aware admission**: pass an ``admission`` gate (see
   :class:`repro.serving.fleet.admission.KingmanAdmission`) and the
   service sheds on predicted Kingman wait (utilization × variability)
-  instead of a blind depth bound — the policy every fleet shard runs
-  (migration notes in ``docs/SERVING.md``).
+  — the policy every fleet shard runs — while ``queue_limit`` stays on
+  as a hard depth backstop, covering the gate's ``min_samples`` warmup
+  window when it admits unconditionally (migration notes in
+  ``docs/SERVING.md``).
 * **Deadlines** — every request carries a deadline (client-supplied or
   ``default_deadline_s``); a request that cannot be answered in time
   resolves to a 504-style response and its slot is reclaimed.
@@ -79,7 +81,9 @@ class ServingConfig:
         request of a batch arrives.
     queue_limit:
         Admission bound: maximum requests in flight before new arrivals
-        are rejected with status 429.
+        are rejected with status 429.  Always enforced — with an
+        ``admission`` gate installed it acts as the hard depth backstop
+        behind the queueing-aware policy.
     cache_size:
         Response-cache capacity (entries); ``cache_enabled=False``
         bypasses the cache entirely.
@@ -153,9 +157,10 @@ class PredictionService:
         be passed for the pool plane; otherwise one is created lazily.
         An *admission* gate (duck-typed to
         :class:`~repro.serving.fleet.admission.KingmanAdmission`)
-        replaces the fixed ``queue_limit`` policy: its ``admit()``
+        supersedes the fixed ``queue_limit`` policy: its ``admit()``
         decides per arrival and ``observe(service_s)`` is fed measured
-        per-request service times.
+        per-request service times, with ``queue_limit`` retained as a
+        hard depth backstop.
         """
         self.registry = registry
         self.config = config or ServingConfig()
@@ -259,22 +264,24 @@ class PredictionService:
             self._stats["cache_misses"] += 1
             obs.counter("serving.cache.misses")
 
-        if self.admission is not None:
-            if not self.admission.admit():
-                self._stats["rejected"] += 1
-                obs.counter("serving.rejected")
-                return error(
-                    429,
-                    "shed before the Kingman knee "
-                    f"({self.admission.describe()}); retry later",
-                )
-        elif self._pending >= self.config.queue_limit:
+        # The depth cap always applies — with an admission gate it is
+        # the hard backstop (per docs/SERVING.md), which matters during
+        # the gate's min_samples warmup when it admits unconditionally.
+        if self._pending >= self.config.queue_limit:
             self._stats["rejected"] += 1
             obs.counter("serving.rejected")
             return error(
                 429,
                 f"queue full ({self.config.queue_limit} requests in flight); "
                 "retry later",
+            )
+        if self.admission is not None and not self.admission.admit():
+            self._stats["rejected"] += 1
+            obs.counter("serving.rejected")
+            return error(
+                429,
+                "shed before the Kingman knee "
+                f"({self.admission.describe()}); retry later",
             )
 
         self._pending += 1

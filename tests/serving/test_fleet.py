@@ -95,6 +95,22 @@ class TestBitIdentity:
             b = _predict(client, "uc1", probe, n_samples=32, sample_seed=3)
         assert np.array_equal(decode_array(a["samples"]), decode_array(b["samples"]))
 
+    def test_large_sample_response_crosses_the_shard_link(self, fleet, intel_small):
+        """A response line far beyond asyncio's 64 KiB default survives.
+
+        20k base64 float64 draws are ~210 KiB on the wire — the shard
+        link must read them with the protocol's limit, not the default
+        ``StreamReader`` limit (regression: an over-limit readline kills
+        the demux task and 503s the whole link).
+        """
+        probe = intel_small["npb/is"].subset(range(6))
+        with fleet.client() as client:
+            reply = _predict(client, "uc1", probe, n_samples=20_000, sample_seed=1)
+            assert reply["status"] == 200, reply
+            assert decode_array(reply["samples"]).size == 20_000
+            # and the link is still healthy for the next request
+            assert _predict(client, "uc1", probe)["status"] == 200
+
 
 class TestRoutingAndFleetOp:
     def test_models_route_to_their_mapped_shards(self, fleet, fleet_store, intel_small):

@@ -113,7 +113,27 @@ class TestKingmanAdmission:
         assert gate.admit() is False  # λ=2/s × E[S]=1s ⇒ ρ=1 ≥ ρ*
         snap = gate.snapshot()
         assert snap.shed == 1 and snap.admitted == 1
-        assert snap.rho >= snap.rho_knee
+        # Decision-time view at the shed instant (clock stood at t=1.0,
+        # admitted arrival at t=0.5): λ̂=2/s ⇒ ρ=1 ≥ ρ*.
+        decision = gate.snapshot(now=1.0)
+        assert decision.rho >= decision.rho_knee
+
+    def test_gate_recovers_after_shedding(self):
+        """Shed arrivals stay out of λ̂, so overload cannot latch the gate.
+
+        Retries arrive every 0.5s against 1s service times; each refusal
+        leaves the window untouched while the clock advances, so ρ decays
+        until an arrival is admitted again.
+        """
+        gate = self._gate(step_s=0.5)
+        for _ in range(4):
+            gate.observe(1.0)
+        assert gate.admit() is True  # t=0.5: no rate estimate yet
+        assert gate.admit() is False  # t=1.0: λ̂=2/s ⇒ ρ=1
+        assert gate.admit() is False  # t=1.5: λ̂=1/s ⇒ ρ=1, still hot
+        assert gate.admit() is True  # t=2.0: λ̂=2/3 ⇒ ρ≈0.67 < ρ*
+        snap = gate.snapshot()
+        assert snap.shed == 2 and snap.admitted == 2
 
     def test_admits_below_the_knee(self):
         """1s service times arriving every 10s sit far below ρ*."""
