@@ -103,6 +103,17 @@ class BinnedMatrix:
             hi=(self.hi - c) / s,
         )
 
+    def sorted_codes(self, order: np.ndarray) -> np.ndarray:
+        """Codes gathered into a per-feature row order.
+
+        ``order`` is a ``(d, n)`` row-index array (typically
+        :func:`~repro.ml.hist.feature_code_order`); the result's row
+        ``j`` holds feature ``j``'s codes in that order.  Materialized
+        once per fit, it supplies the code half of the kernel's root
+        entries for every boosting round without per-round gathers.
+        """
+        return self.codes[order, np.arange(self.n_features)[:, None]]
+
     def take_rows(self, indexer) -> "BinnedMatrix":
         """Row-subset view (mask or index array); bounds are shared."""
         return BinnedMatrix(

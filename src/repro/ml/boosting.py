@@ -128,12 +128,16 @@ class GradientBoostingRegressor(Regressor):
 
         Round trees are grown directly on the shared codes; training-row
         routing by bin code is identical to threshold traversal for rows
-        the binner has seen, so leaf regularization and the running
-        prediction update use the kernel's ``leaf_of_row`` instead of
-        re-walking the tree.
+        the binner has seen.  Without row subsampling the whole boosting
+        update is fused into the kernel (:class:`~repro.ml.hist.
+        BoostFusion`): the residual arrays are allocated once, the
+        regularized Newton leaves, running-prediction update and
+        next-round residuals are all produced inside leaf finalization,
+        and no per-round ``tree._predict`` walk or full-vector residual
+        re-derivation happens — bit-identical to the unfused update.
         """
         from .binning import BinMapper, BinnedMatrix
-        from .hist import TreeSpec, feature_code_order, grow_trees
+        from .hist import BoostFusion, TreeSpec, feature_code_order, grow_trees
 
         if Xv is None:
             n, d = binned.n_rows, binned.n_features
@@ -155,15 +159,24 @@ class GradientBoostingRegressor(Regressor):
         n_rows = max(1, int(round(self.subsample * n)))
         n_cols = max(1, int(round(self.colsample_bytree * d)))
         timing = obs.enabled()
-        nodes = 0
-        split_s = leaf_s = 0.0
-        for _ in range(self.n_estimators):
-            resid = yv - current
-            rows = (
-                gen.choice(n, size=n_rows, replace=False)
-                if n_rows < n
-                else np.arange(n)
+        nodes = subs = rparts = 0
+        build_s = scan_s = part_s = leaf_s = 0.0
+        fused = n_rows >= n
+        if fused:
+            sorted_codes = binned.sorted_codes(grouped)
+            resid64 = yv - current
+            resid32 = resid64.astype(np.float32)
+            fusion = BoostFusion(
+                targets=yv,
+                current=current,
+                learning_rate=self.learning_rate,
+                reg_lambda=self.reg_lambda,
             )
+            rows_all = np.arange(n)
+        for _ in range(self.n_estimators):
+            if not fused:
+                resid = yv - current
+                rows = gen.choice(n, size=n_rows, replace=False)
             cols = (
                 np.sort(gen.choice(d, size=n_cols, replace=False))
                 if n_cols < d
@@ -171,56 +184,74 @@ class GradientBoostingRegressor(Regressor):
             )
             sub = binned.take_features(cols) if n_cols < d else binned
             G = grouped[cols] if n_cols < d else grouped
-            if n_rows < n:
-                spec, root = TreeSpec(rows=rows), None
+            if fused:
+                sc = sorted_codes[cols] if n_cols < d else sorted_codes
+                grown, stats = grow_trees(
+                    sub,
+                    resid32,
+                    resid64,
+                    [TreeSpec(rows=rows_all)],
+                    n_cand=cols.size,
+                    max_depth=self.max_depth,
+                    min_samples_split=2,
+                    min_samples_leaf=self.min_samples_leaf,
+                    root_entries=(G.ravel(), sc.ravel()),
+                    boost=fusion,
+                    timing=timing,
+                )
             else:
-                spec, root = TreeSpec(rows=rows), G.ravel()
-            grown, stats = grow_trees(
-                sub,
-                resid.astype(np.float32),
-                resid,
-                [spec],
-                n_cand=cols.size,
-                max_depth=self.max_depth,
-                min_samples_split=2,
-                min_samples_leaf=self.min_samples_leaf,
-                feature_order=G,
-                root_order=root,
-                timing=timing,
-            )
+                grown, stats = grow_trees(
+                    sub,
+                    resid.astype(np.float32),
+                    resid,
+                    [TreeSpec(rows=rows)],
+                    n_cand=cols.size,
+                    max_depth=self.max_depth,
+                    min_samples_split=2,
+                    min_samples_leaf=self.min_samples_leaf,
+                    feature_order=G,
+                    timing=timing,
+                )
             g = grown[0]
             nodes += stats.nodes
-            split_s += stats.split_s
+            subs += stats.hist_subtractions
+            rparts += stats.rows_partitioned
+            build_s += stats.build_s
+            scan_s += stats.scan_s
+            part_s += stats.partition_s
             leaf_s += stats.leaf_s
-            # Regularized Newton leaves from the kernel's row routing —
-            # same sums, counts and accumulation order as the exact
-            # path's traversal-based _regularize_leaves.
-            lids = g.leaf_of_row[rows]
-            sums = np.zeros((g.feature.size, k))
-            counts = np.zeros(g.feature.size)
-            np.add.at(sums, lids, resid[rows])
-            np.add.at(counts, lids, 1.0)
-            leaves = np.nonzero(counts > 0)[0]
-            g.value[leaves] = (
-                sums[leaves] / (counts[leaves] + self.reg_lambda)[:, None]
-            )
+            if not fused:
+                # Regularized Newton leaves from the kernel's row
+                # routing — same sums, counts and accumulation order as
+                # the exact path's traversal-based _regularize_leaves.
+                lids = g.leaf_of_row[rows]
+                sums = np.zeros((g.feature.size, k))
+                counts = np.zeros(g.feature.size)
+                np.add.at(sums, lids, resid[rows])
+                np.add.at(counts, lids, 1.0)
+                leaves = np.nonzero(counts > 0)[0]
+                g.value[leaves] = (
+                    sums[leaves] / (counts[leaves] + self.reg_lambda)[:, None]
+                )
             tree = RegressionTree(
                 max_depth=self.max_depth,
                 min_samples_leaf=self.min_samples_leaf,
                 tree_method="hist",
             )
             tree._adopt_grown(g, cols.size, k)
-            if n_rows < n:
+            if not fused:
                 current += self.learning_rate * tree._predict(Xv[:, cols])
-            else:
-                current += self.learning_rate * g.value[g.leaf_of_row]
             self.trees_.append(tree)
             self.tree_columns_.append(cols)
         if timing:
             obs.counter("tree.fits", self.n_estimators)
             obs.counter("tree.nodes", nodes)
             obs.counter("tree.hist_nodes", nodes)
-            obs.observe("tree.split_search_s", split_s)
+            obs.counter("tree.hist_subtractions", subs)
+            obs.counter("tree.rows_partitioned", rparts)
+            obs.observe("tree.hist_build_s", build_s)
+            obs.observe("tree.scan_s", scan_s)
+            obs.observe("tree.partition_s", part_s)
             obs.observe("tree.leaf_s", leaf_s)
         self.n_features_ = d
         self.n_outputs_ = k
@@ -337,7 +368,7 @@ def fit_predict_folds(model, binned, Y, folds) -> list[np.ndarray]:
     walk, matching what a per-fold fit on scaled features would produce.
     """
     from .binning import BinnedMatrix
-    from .hist import TreeSpec, grow_trees, rebind_thresholds
+    from .hist import BoostFusion, TreeSpec, grow_trees, rebind_thresholds
 
     if not can_lockstep(model, [f[0] for f in folds]):
         raise ValidationError(
@@ -355,11 +386,14 @@ def fit_predict_folds(model, binned, Y, folds) -> list[np.ndarray]:
     # One stable per-feature sort of the stacked rows keyed (fold, code):
     # each fold's block of every feature column comes out code-sorted,
     # which is exactly the root entry layout grow_trees propagates from.
+    # The matching sorted codes are materialized once alongside, so a
+    # round's root entries are two cheap column slices.
     comp = (
         np.repeat(np.arange(P, dtype=np.int32), m)[:, None] * _FOLD_KEY_STRIDE
         + codes_st.astype(np.int32)
     )
     grouped = np.ascontiguousarray(np.argsort(comp, axis=0, kind="stable").T)
+    sorted_codes = codes_st[grouped, np.arange(d)[:, None]]
 
     gen = check_random_state(model.rng)
     n_cols = max(1, int(round(model.colsample_bytree * d)))
@@ -368,11 +402,22 @@ def fit_predict_folds(model, binned, Y, folds) -> list[np.ndarray]:
     specs = [TreeSpec(rows=np.arange(off[p], off[p + 1])) for p in range(P)]
     fold_trees: list[list] = [[] for _ in range(P)]
     timing = obs.enabled()
-    nodes = 0
-    split_s = leaf_s = 0.0
+    nodes = subs = rparts = 0
+    build_s = scan_s = part_s = leaf_s = 0.0
+
+    # Residual views live across rounds; the kernel's fused leaf pass
+    # regularizes leaves, advances `current` and rewrites both views in
+    # place, so each round starts with its residuals already positioned.
+    resid64 = Y_st - current
+    resid32 = resid64.astype(np.float32)
+    fusion = BoostFusion(
+        targets=Y_st,
+        current=current,
+        learning_rate=model.learning_rate,
+        reg_lambda=model.reg_lambda,
+    )
 
     for _ in range(model.n_estimators):
-        resid = Y_st - current
         cols = (
             np.sort(gen.choice(d, size=n_cols, replace=False))
             if n_cols < d
@@ -385,41 +430,44 @@ def fit_predict_folds(model, binned, Y, folds) -> list[np.ndarray]:
             hi=binned.hi[cols],
         )
         G = grouped[cols]
-        root = np.concatenate(
+        sc = sorted_codes[cols]
+        root_g = np.concatenate(
             [G[:, off[p]:off[p + 1]].ravel() for p in range(P)]
+        )
+        root_c = np.concatenate(
+            [sc[:, off[p]:off[p + 1]].ravel() for p in range(P)]
         )
         grown, stats = grow_trees(
             sub,
-            resid.astype(np.float32),
-            resid,
+            resid32,
+            resid64,
             specs,
             n_cand=cols.size,
             max_depth=model.max_depth,
             min_samples_split=2,
             min_samples_leaf=model.min_samples_leaf,
-            root_order=root,
+            root_entries=(root_g, root_c),
+            boost=fusion,
             timing=timing,
         )
         nodes += stats.nodes
-        split_s += stats.split_s
+        subs += stats.hist_subtractions
+        rparts += stats.rows_partitioned
+        build_s += stats.build_s
+        scan_s += stats.scan_s
+        part_s += stats.partition_s
         leaf_s += stats.leaf_s
         for p, g in enumerate(grown):
-            lids = g.leaf_of_row[off[p]:off[p + 1]]
-            sums = np.zeros((g.feature.size, k))
-            counts = np.zeros(g.feature.size)
-            np.add.at(sums, lids, resid[off[p]:off[p + 1]])
-            np.add.at(counts, lids, 1.0)
-            leaves = np.nonzero(counts > 0)[0]
-            g.value[leaves] = (
-                sums[leaves] / (counts[leaves] + model.reg_lambda)[:, None]
-            )
-            current[off[p]:off[p + 1]] += model.learning_rate * g.value[lids]
             fold_trees[p].append((g, cols))
     if timing:
         obs.counter("tree.fits", P * model.n_estimators)
         obs.counter("tree.nodes", nodes)
         obs.counter("tree.hist_nodes", nodes)
-        obs.observe("tree.split_search_s", split_s)
+        obs.counter("tree.hist_subtractions", subs)
+        obs.counter("tree.rows_partitioned", rparts)
+        obs.observe("tree.hist_build_s", build_s)
+        obs.observe("tree.scan_s", scan_s)
+        obs.observe("tree.partition_s", part_s)
         obs.observe("tree.leaf_s", leaf_s)
 
     preds = []

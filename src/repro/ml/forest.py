@@ -143,7 +143,11 @@ class RandomForestRegressor(Regressor):
             obs.counter("tree.fits", len(grown))
             obs.counter("tree.nodes", stats.nodes)
             obs.counter("tree.hist_nodes", stats.nodes)
-            obs.observe("tree.split_search_s", stats.split_s)
+            obs.counter("tree.hist_subtractions", stats.hist_subtractions)
+            obs.counter("tree.rows_partitioned", stats.rows_partitioned)
+            obs.observe("tree.hist_build_s", stats.build_s)
+            obs.observe("tree.scan_s", stats.scan_s)
+            obs.observe("tree.partition_s", stats.partition_s)
             obs.observe("tree.leaf_s", stats.leaf_s)
 
     def fit_binned(self, binned, y) -> "RandomForestRegressor":

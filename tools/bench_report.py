@@ -77,8 +77,11 @@ def run_grid() -> dict:
         scale=os.environ["REPRO_BENCH_SCALE"],
         n_workers=n_workers,
     )
+    from repro.obs.trace_io import cell_walls, trace_records
+
     summary = obs.run_summary()
     breakdown = fit_breakdown()
+    cells = cell_walls(trace_records())
     obs.disable()
     print(f"[bench] trace written to {trace_path}")
 
@@ -92,6 +95,7 @@ def run_grid() -> dict:
         "tree_method": tree_method,
         "stages_s": timer.as_dict(),
         "fit_breakdown_s": breakdown,
+        "cell_walls_s": cells,
         "wall_s": wall,
         "ks_checksum": float(ks.sum()),
         "n_grid_rows": int(len(ks)),
@@ -99,21 +103,70 @@ def run_grid() -> dict:
         "obs": summary,
     }
     if tree_method != "exact":
-        # Re-run the same grid on the exact reference kernel (no
-        # instrumentation) for the speedup ratio and the KS drift bound.
-        ref_timer = StageTimer()
-        t_ref = time.perf_counter()
-        ref_grid = representation_model_grid(
-            campaigns, replace(cfg, tree_method="exact"), timer=ref_timer
-        )
-        ref_wall = time.perf_counter() - t_ref
-        ref_ks = np.asarray(ref_grid["ks"], dtype=np.float64)
+        # Re-run the same grid on the exact reference kernel (obs kept
+        # on for per-cell walls) for the speedup ratios and drift
+        # bound.  Three runs, median per timing: the exact kernel's
+        # wall time swings ±25% on shared boxes while the hist phase
+        # is stable, and a single noisy reference run would make the
+        # CI speedup floors a coin flip.  The KS vector must be
+        # bit-identical across the repeats.
+        ref_fits, ref_walls, ref_cell_runs = [], [], []
+        ref_ks = None
+        for _ in range(3):
+            obs.enable(fresh=True)
+            ref_timer = StageTimer()
+            t_ref = time.perf_counter()
+            ref_grid = representation_model_grid(
+                campaigns, replace(cfg, tree_method="exact"), timer=ref_timer
+            )
+            ref_walls.append(time.perf_counter() - t_ref)
+            ref_fits.append(ref_timer.as_dict().get("fit"))
+            ref_cell_runs.append(cell_walls(trace_records()))
+            obs.disable()
+            run_ks = np.asarray(ref_grid["ks"], dtype=np.float64)
+            if ref_ks is None:
+                ref_ks = run_ks
+            elif not np.array_equal(run_ks, ref_ks):
+                raise AssertionError("exact reference KS varied across runs")
+        ref_cells = {
+            key: float(np.median([c[key] for c in ref_cell_runs]))
+            for key in ref_cell_runs[0]
+        }
         record["exact_reference"] = {
-            "fit_s": ref_timer.as_dict().get("fit"),
-            "wall_s": ref_wall,
+            "n_timing_runs": 3,
+            "fit_s": float(np.median(ref_fits)),
+            "wall_s": float(np.median(ref_walls)),
             "ks_checksum": float(ref_ks.sum()),
+            "cell_walls_s": ref_cells,
         }
         record["ks_drift_max_vs_exact"] = float(np.abs(ks - ref_ks).max())
+
+        # Pooled phase: the same hist grid fanned out to two workers, so
+        # shm/hist dispatch-plane regressions show up in the committed
+        # record (the main phase is usually serial).  The KS checksum is
+        # worker-count-invariant and must match the serial phase bit for
+        # bit.
+        obs.enable()
+        pooled_timer = StageTimer()
+        t_pool = time.perf_counter()
+        pooled_grid = representation_model_grid(
+            campaigns, replace(cfg, n_workers=2), timer=pooled_timer
+        )
+        pooled_wall = time.perf_counter() - t_pool
+        pooled_summary = obs.run_summary()
+        obs.disable()
+        pooled_ks = np.asarray(pooled_grid["ks"], dtype=np.float64)
+        record["pooled"] = {
+            "n_workers": 2,
+            "fit_s": pooled_timer.as_dict().get("fit"),
+            "wall_s": pooled_wall,
+            "ks_checksum": float(pooled_ks.sum()),
+            "ks_matches_serial": bool(
+                np.array_equal(pooled_ks, ks)
+            ),
+            "dispatch": dispatch_bytes(pooled_summary),
+            "pool_map_calls": pooled_summary.get("pool", {}).get("map_calls"),
+        }
     return record
 
 
@@ -137,6 +190,9 @@ def fit_breakdown() -> dict:
     return {
         "binning_s": total("tree.bin_s"),
         "split_search_s": total("tree.split_search_s"),
+        "hist_build_s": total("tree.hist_build_s"),
+        "scan_s": total("tree.scan_s"),
+        "partition_s": total("tree.partition_s"),
         "leaf_s": total("tree.leaf_s"),
     }
 
@@ -195,6 +251,20 @@ def main() -> int:
             f"{hist_fit:.2f}s"
             + (f" ({ratio:.1f}x)" if ratio else "")
             + f"; ks_drift_max_vs_exact={record['ks_drift_max_vs_exact']:.3g}"
+        )
+        ref_cells = ref.get("cell_walls_s", {})
+        for key, wall in sorted(record.get("cell_walls_s", {}).items()):
+            ref_wall = ref_cells.get(key)
+            if ref_wall:
+                print(f"[bench] cell {key}: hist {wall:.2f}s vs exact "
+                      f"{ref_wall:.2f}s ({ref_wall / wall:.2f}x)")
+    if "pooled" in record:
+        p = record["pooled"]
+        print(
+            f"[bench] pooled phase (workers={p['n_workers']}): fit "
+            f"{p['fit_s']:.2f}s plane={p['dispatch']['plane']} "
+            f"map_calls={p['pool_map_calls']} "
+            f"ks_matches_serial={p['ks_matches_serial']}"
         )
     d = record["dispatch"]
     factor = d["reduction_factor"]
