@@ -18,10 +18,16 @@ Layout:
 * :mod:`~repro.analysis.suppressions` — ``# repro: noqa[RULE-ID]``;
 * rule packs: :mod:`~repro.analysis.determinism` (``DET*``),
   :mod:`~repro.analysis.concurrency` (``CONC*``),
+  :mod:`~repro.analysis.async_rules` (``ASYNC*``),
   :mod:`~repro.analysis.obs_contract` (``OBS*``),
   :mod:`~repro.analysis.docstrings` (``DOC*``);
+* semantics layer: :mod:`~repro.analysis.symbols` (cross-module name
+  resolution), :mod:`~repro.analysis.callgraph` (approximate call
+  graph), reached from rules via ``project.semantics``;
+* :mod:`~repro.analysis.cache` — content-hash AST cache behind the
+  walker (``REPRO_ANALYSIS_CACHE`` to disable/redirect);
 * :mod:`~repro.analysis.runner` / :mod:`~repro.analysis.reporters` /
-  :mod:`~repro.analysis.cli` — driver, human/JSON output,
+  :mod:`~repro.analysis.cli` — driver, human/JSON/GitHub output,
   ``python -m repro.analysis``.
 
 The full rule catalog, rationale and suppression syntax are documented
@@ -29,13 +35,23 @@ in ``docs/STATIC_ANALYSIS.md``; ``tests/analysis/test_repo_clean.py``
 runs the whole rule set over the repository as part of tier-1.
 """
 
+from .callgraph import CallGraph, CallSite, FunctionNode
 from .core import Finding, Rule, all_rules, register, rule_catalog
-from .reporters import REPORT_SCHEMA, REPORT_VERSION, render_human, render_json
+from .reporters import (
+    REPORT_SCHEMA,
+    REPORT_VERSION,
+    render_github,
+    render_human,
+    render_json,
+    report_from_payload,
+)
 from .runner import AnalysisReport, repo_root, run_analysis
+from .semantics import Semantics
+from .symbols import SymbolGraph, SymbolInfo, module_path
 from .walker import Project, Scope, SourceFile, build_project, parse_source
 
 # Importing the packs populates the rule registry.
-from . import concurrency, determinism, docstrings, obs_contract  # noqa: F401
+from . import async_rules, concurrency, determinism, docstrings, obs_contract  # noqa: F401
 
 __all__ = [
     "Finding",
@@ -53,6 +69,15 @@ __all__ = [
     "parse_source",
     "render_human",
     "render_json",
+    "render_github",
+    "report_from_payload",
     "REPORT_SCHEMA",
     "REPORT_VERSION",
+    "Semantics",
+    "SymbolGraph",
+    "SymbolInfo",
+    "module_path",
+    "CallGraph",
+    "CallSite",
+    "FunctionNode",
 ]

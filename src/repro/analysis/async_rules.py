@@ -1,0 +1,365 @@
+"""ASYNC rule pack — event-loop safety for the serving fleet.
+
+The fleet router, shard protocol, and server all run on one asyncio
+loop; a single blocking call anywhere on that loop stalls *every*
+in-flight request, and an unawaited coroutine silently does nothing.
+These rules use the interprocedural semantics layer
+(:attr:`Project.semantics`) so a blocking primitive two calls deep —
+e.g. ``registry.resolve`` reading a tag file via
+``ArtifactStore.resolve`` — is attributed to the ``async def`` frame
+that reaches it.
+
+False-negative contract (see docs/STATIC_ANALYSIS.md): resolution only
+follows calls provable inside the walked tree, so anything reached
+through dynamic dispatch, ``getattr``, third-party code, or deeper than
+the traversal cap simply produces no finding.  The rules never guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from .astutil import call_chain, enclosing_function
+from .callgraph import own_body
+from .core import Finding, Rule, register
+from .symbols import SymbolInfo
+from .walker import Project, Scope, SourceFile
+
+__all__ = [
+    "UnawaitedCoroutineRule",
+    "BlockingInAsyncRule",
+    "SyncLockAcrossAwaitRule",
+    "DroppedTaskRule",
+    "CoroutineAsCallableRule",
+]
+
+#: Exact dotted call chains that block the calling thread.
+_BLOCKING_CHAINS = {
+    "time.sleep",
+    "socket.create_connection",
+    "os.system",
+    "os.popen",
+}
+_SUBPROCESS_HEADS = {"subprocess"}
+_IO_TAILS = {"read_text", "read_bytes", "write_text", "write_bytes"}
+_HEAVY_NP_SUBMODULES = {"linalg", "fft"}
+_HEAVY_NP_ATTRS = {"einsum", "dot", "matmul", "tensordot", "vdot", "inner", "kron"}
+_LOCK_FACTORIES = {"Lock", "RLock", "Semaphore", "BoundedSemaphore", "Condition"}
+
+#: Interprocedural traversal depth cap — beyond this the rules stay
+#: silent rather than time out (part of the false-negative contract).
+_MAX_DEPTH = 8
+
+
+def _blocking_reason(call: ast.Call) -> Optional[str]:
+    """Why this call blocks the calling thread, or ``None``."""
+    chain = call_chain(call)
+    if chain is not None:
+        if chain in _BLOCKING_CHAINS:
+            return f"`{chain}()`"
+        parts = chain.split(".")
+        if parts[0] in _SUBPROCESS_HEADS and len(parts) > 1:
+            return f"`{chain}()`"
+        if parts[0] in ("np", "numpy") and len(parts) > 1:
+            if parts[1] in _HEAVY_NP_SUBMODULES or parts[-1] in _HEAVY_NP_ATTRS:
+                return f"heavy numpy `{chain}()`"
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        return "`open()`"
+    if isinstance(func, ast.Attribute):
+        if func.attr in _IO_TAILS:
+            return f"file I/O `.{func.attr}()`"
+        if func.attr.startswith("predict"):
+            return f"model prediction `.{func.attr}()`"
+    return None
+
+
+def _contains_await(stmts: Iterable[ast.AST]) -> bool:
+    """Whether any statement awaits, ignoring nested function bodies."""
+    stack = list(stmts)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Await):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+class _SemanticsRule(Rule):
+    """Base for rules that consult ``project.semantics``."""
+
+    def setup(self, project: Project) -> None:
+        """Keep the project; the semantics layer is built lazily."""
+        self._project = project
+
+    def _semantics(self):
+        return self._project.semantics
+
+
+@register
+class UnawaitedCoroutineRule(_SemanticsRule):
+    """A coroutine call whose result is discarded never runs."""
+
+    rule_id = "ASYNC001"
+    name = "unawaited-coroutine"
+    rationale = (
+        "calling an async def without awaiting it creates a coroutine object "
+        "and throws it away — the body never executes and the loop only "
+        "prints a RuntimeWarning long after the silent no-op corrupted state"
+    )
+
+    def applies_to(self, source: SourceFile) -> bool:
+        """Everywhere — a dropped coroutine is a bug in any tree."""
+        return source.tree is not None
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        """Flag statement-level calls that resolve to ``async def``s."""
+        sem = self._semantics()
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            fn = sem.callgraph.function_at(node)
+            if fn is None:
+                continue
+            for site in fn.calls:
+                if site.kind not in ("direct", "method") or not site.callee.is_async:
+                    continue
+                if isinstance(source.parent(site.call), ast.Expr):
+                    yield self.finding(
+                        source,
+                        site.call,
+                        f"coroutine `{site.callee.qualname}` is created but never "
+                        "awaited; its body will not run — await it or wrap it in "
+                        "asyncio.create_task()",
+                    )
+
+
+@register
+class BlockingInAsyncRule(_SemanticsRule):
+    """No blocking primitive may be reachable on the event loop."""
+
+    rule_id = "ASYNC002"
+    name = "blocking-in-async"
+    rationale = (
+        "one blocking call (sleep, file I/O, subprocess, heavy numpy, model "
+        "predict) inside an async frame stalls every request on the loop; "
+        "hop through run_in_executor instead — the call graph also catches "
+        "primitives buried several sync calls deep"
+    )
+
+    def setup(self, project: Project) -> None:
+        """Reset the per-run reachability memo."""
+        super().setup(project)
+        self._memo: dict[str, Optional[list[str]]] = {}
+
+    def applies_to(self, source: SourceFile) -> bool:
+        """Library only: tests/tools may block freely off the loop."""
+        return source.tree is not None and source.scope is Scope.LIBRARY
+
+    def _first_blocking(self, sym: SymbolInfo, depth: int = 0) -> Optional[list[str]]:
+        """Blocking chain reached from ``sym``'s body, innermost last."""
+        key = sym.qualname
+        if key in self._memo:
+            return self._memo[key]
+        if depth > _MAX_DEPTH:
+            return None
+        self._memo[key] = None  # cycle guard while computing
+        node = self._project.semantics.callgraph.callable_body(sym)
+        result: Optional[list[str]] = None
+        if node is not None and node.symbol.node is not None and not node.is_async:
+            for child in own_body(node.symbol.node):
+                if isinstance(child, ast.Call):
+                    reason = _blocking_reason(child)
+                    if reason is not None:
+                        result = [node.symbol.qualname, reason]
+                        break
+            if result is None:
+                for site in node.calls:
+                    if site.kind not in ("direct", "method") or site.callee.is_async:
+                        continue
+                    sub = self._first_blocking(site.callee, depth + 1)
+                    if sub is not None:
+                        result = [node.symbol.qualname] + sub
+                        break
+        self._memo[key] = result
+        return result
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        """Flag direct and call-graph-reachable blocking in async defs."""
+        sem = self._semantics()
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for child in own_body(node):
+                if isinstance(child, ast.Call):
+                    reason = _blocking_reason(child)
+                    if reason is not None:
+                        yield self.finding(
+                            source,
+                            child,
+                            f"blocking {reason} inside `async def {node.name}`; "
+                            "hop through loop.run_in_executor()",
+                        )
+            fn = sem.callgraph.function_at(node)
+            if fn is None:
+                continue
+            for site in fn.calls:
+                # Direct and method calls run on the loop now; callbacks
+                # registered here run on the loop later.  Executor edges
+                # are the sanctioned escape hatch and are not followed.
+                if site.kind not in ("direct", "method", "callback"):
+                    continue
+                if site.callee.is_async:
+                    continue  # reported in its own (async) frame, if at all
+                chain = self._first_blocking(site.callee)
+                if chain is not None:
+                    path = " -> ".join(chain)
+                    yield self.finding(
+                        source,
+                        site.call,
+                        f"`async def {node.name}` reaches blocking {chain[-1]} "
+                        f"through {path}; hop through loop.run_in_executor()",
+                    )
+
+
+@register
+class SyncLockAcrossAwaitRule(Rule):
+    """``threading`` locks must not be held across an ``await``."""
+
+    rule_id = "ASYNC003"
+    name = "sync-lock-across-await"
+    rationale = (
+        "a threading.Lock held across an await keeps the loop thread from "
+        "releasing it while other tasks (or executor threads) queue on it — "
+        "the classic single-thread deadlock; use asyncio.Lock on the loop"
+    )
+
+    def applies_to(self, source: SourceFile) -> bool:
+        """Library only — the fleet loop code."""
+        return source.tree is not None and source.scope is Scope.LIBRARY
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        """Flag sync ``with <lock>:`` blocks containing an await."""
+        lock_names: set[str] = set()
+        lock_attrs: set[str] = set()
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+                continue
+            chain = call_chain(node.value)
+            if chain is None:
+                continue
+            parts = chain.split(".")
+            if parts[0] == "threading" and parts[-1] in _LOCK_FACTORIES:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        lock_names.add(target.id)
+                    elif (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        lock_attrs.add(target.attr)
+        if not (lock_names or lock_attrs):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.With):
+                continue
+            owner = enclosing_function(node, source.parent)
+            if not isinstance(owner, ast.AsyncFunctionDef):
+                continue
+            for item in node.items:
+                expr = item.context_expr
+                held = (isinstance(expr, ast.Name) and expr.id in lock_names) or (
+                    isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"
+                    and expr.attr in lock_attrs
+                )
+                if held and _contains_await(node.body):
+                    yield self.finding(
+                        source,
+                        node,
+                        "threading lock held across an await suspends the loop "
+                        "while holding it; use asyncio.Lock (or release before "
+                        "awaiting)",
+                    )
+
+
+@register
+class DroppedTaskRule(Rule):
+    """``asyncio.create_task`` results must be referenced."""
+
+    rule_id = "ASYNC004"
+    name = "dropped-task"
+    rationale = (
+        "the event loop keeps only weak references to tasks: a create_task "
+        "result used as a bare statement can be garbage-collected mid-flight "
+        "and its failure is never observed — keep a reference or add a "
+        "done-callback"
+    )
+
+    def applies_to(self, source: SourceFile) -> bool:
+        """Everywhere — background tasks appear in tests and tools too."""
+        return source.tree is not None
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        """Flag statement-level create_task/ensure_future calls."""
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Expr):
+                continue
+            call = node.value
+            if not isinstance(call, ast.Call):
+                continue
+            tail = None
+            if isinstance(call.func, ast.Attribute):
+                tail = call.func.attr
+            elif isinstance(call.func, ast.Name):
+                tail = call.func.id
+            if tail in ("create_task", "ensure_future"):
+                yield self.finding(
+                    source,
+                    call,
+                    f"result of `{tail}()` is dropped; the task may be "
+                    "garbage-collected mid-flight — keep a reference or "
+                    "add_done_callback()",
+                )
+
+
+@register
+class CoroutineAsCallableRule(_SemanticsRule):
+    """Coroutine functions are not plain callables."""
+
+    rule_id = "ASYNC005"
+    name = "coroutine-as-callable"
+    rationale = (
+        "handing an async def to a pool dispatch, executor, or loop "
+        "callback slot calls it like a plain function: every 'result' is an "
+        "un-run coroutine object, so the work silently never happens"
+    )
+
+    def applies_to(self, source: SourceFile) -> bool:
+        """Everywhere — dispatch sites live in all trees."""
+        return source.tree is not None
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        """Flag async defs in executor/callback argument slots."""
+        sem = self._semantics()
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            fn = sem.callgraph.function_at(node)
+            if fn is None:
+                continue
+            for site in fn.calls:
+                if site.kind in ("executor", "callback") and site.callee.is_async:
+                    yield self.finding(
+                        source,
+                        site.call,
+                        f"coroutine function `{site.callee.qualname}` passed "
+                        "where a plain callable is required; it would return "
+                        "an un-run coroutine — pass a sync function or use "
+                        "create_task/run_coroutine_threadsafe",
+                    )

@@ -1,0 +1,127 @@
+"""Content-hash AST cache for the analyzer.
+
+Parsing ~190 files dominates a clean analyzer run, and both the CLI and
+``tests/analysis/test_repo_clean.py`` re-walk the same unchanged tree
+repeatedly.  Entries are keyed exactly like ``CampaignCache`` keys its
+artifacts: a sha256 fingerprint of the *content* (file bytes) plus the
+interpreter version and a cache schema version — never paths or mtimes,
+so a rebuilt checkout with identical bytes still hits.
+
+Two tiers:
+
+* an in-process memo (dict), which makes repeated :func:`run_analysis`
+  calls within one test session nearly free and — critically — returns
+  the *same* tree objects, letting the semantics memo reuse its graphs;
+* a best-effort on-disk tier under ``<root>/.repro_cache/analysis/``
+  (gitignored), pickling ``(tree, suppressions, parse_error)`` so a
+  fresh CLI process skips parsing unchanged files.
+
+Hits and misses are reported through the ``analysis.cache.hits`` /
+``analysis.cache.misses`` obs counters (see docs/OBSERVABILITY.md).
+The env knob ``REPRO_ANALYSIS_CACHE`` disables the cache entirely when
+set to ``0`` or points the disk tier somewhere else when set to a path.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+import pickle
+import sys
+from pathlib import Path
+from typing import Optional
+
+from .. import obs
+
+__all__ = ["AstCache", "content_hash"]
+
+#: Bump when the cached payload shape or parent annotation changes.
+CACHE_VERSION = 1
+
+_ENV_KNOB = "REPRO_ANALYSIS_CACHE"
+
+# (tree or None, suppressions, parse_error or None)
+_Entry = tuple[Optional[ast.Module], dict[int, frozenset[str]], Optional[str]]
+
+
+def content_hash(text: str) -> str:
+    """Stable fingerprint of one file's content."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _cache_key(digest: str) -> str:
+    tag = f"{digest}:py{sys.version_info[0]}.{sys.version_info[1]}:v{CACHE_VERSION}"
+    return hashlib.sha256(tag.encode("ascii")).hexdigest()
+
+
+#: Process-wide memo shared by every AstCache instance, so repeated
+#: run_analysis() calls in one test session parse each file once and
+#: share tree objects (which the semantics memo keys on).
+_GLOBAL_MEMO: dict[str, _Entry] = {}
+
+
+class AstCache:
+    """Two-tier parse cache; all disk failures degrade to a miss."""
+
+    def __init__(self, root: Path, enabled: bool = True) -> None:
+        knob = os.environ.get(_ENV_KNOB, "")
+        if knob == "0":
+            enabled = False
+        self.enabled = enabled
+        if knob and knob != "0":
+            self.disk_dir: Optional[Path] = Path(knob)
+        else:
+            self.disk_dir = root / ".repro_cache" / "analysis"
+        self.hits = 0
+        self.misses = 0
+        self._memo = _GLOBAL_MEMO
+
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / key[:2] / f"{key}.pkl"
+
+    def get(self, digest: str) -> Optional[_Entry]:
+        """Cached parse for a content digest, or ``None`` on miss."""
+        if not self.enabled:
+            return None
+        key = _cache_key(digest)
+        entry = self._memo.get(key)
+        if entry is not None:
+            self.hits += 1
+            obs.counter("analysis.cache.hits")
+            return entry
+        path = self._disk_path(key)
+        if path is not None:
+            try:
+                with open(path, "rb") as fh:
+                    entry = pickle.load(fh)
+            except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+                entry = None
+        if entry is not None:
+            self._memo[key] = entry
+            self.hits += 1
+            obs.counter("analysis.cache.hits")
+            return entry
+        self.misses += 1
+        obs.counter("analysis.cache.misses")
+        return None
+
+    def put(self, digest: str, entry: _Entry) -> None:
+        """Store a parse result in both tiers (disk writes best-effort)."""
+        if not self.enabled:
+            return
+        key = _cache_key(digest)
+        self._memo[key] = entry
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            with open(tmp, "wb") as fh:
+                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            pass

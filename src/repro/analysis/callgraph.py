@@ -1,0 +1,389 @@
+"""Approximate project call graph built on the symbol graph.
+
+For every function definition in the walked tree this records the call
+sites whose targets resolve *within* the tree: direct calls, method
+calls through annotated or locally-inferred receiver types, and
+function-valued arguments handed to executors, pools, or loop callbacks
+(``pool.map(fn, ...)``, ``run_in_executor(None, fn)``,
+``call_soon(fn)``, ``Thread(target=fn)``).
+
+Like the symbol graph, resolution is best-effort: a call whose target
+cannot be proven inside the project produces *no* edge, so rules using
+the graph can only under-report, never hallucinate targets.  The edge
+``kind`` says how control reaches the callee:
+
+- ``direct``   — plain call, runs on the caller's thread
+- ``method``   — resolved through a receiver type, same thread
+- ``executor`` — handed to a worker pool/executor, runs off-thread
+- ``callback`` — registered on the event loop, runs on the loop later
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from .symbols import SymbolGraph, SymbolInfo, module_path
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .walker import Project, SourceFile
+
+__all__ = ["CallSite", "FunctionNode", "CallGraph", "own_body"]
+
+# Callable-slot tables: argument position (or keyword) holding a
+# function value.  ``map`` only counts as an executor slot when called
+# as a method (``pool.map``), mirroring CONC001's dispatch heuristic.
+_EXECUTOR_SLOTS: dict[str, int] = {
+    "map": 0,
+    "parallel_map": 0,
+    "run_in_executor": 1,
+    "to_thread": 0,
+    "submit": 0,
+}
+_EXECUTOR_KWARGS: dict[str, str] = {"Thread": "target"}
+_CALLBACK_SLOTS: dict[str, int] = {
+    "call_soon": 0,
+    "call_soon_threadsafe": 0,
+    "call_later": 1,
+    "call_at": 1,
+    "add_done_callback": 0,
+}
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def own_body(fn_node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's own statements, skipping nested def/lambda bodies.
+
+    Nested functions get their own :class:`FunctionNode`; code inside
+    them does not run when the enclosing function runs.
+    """
+    stack = list(ast.iter_child_nodes(fn_node))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@dataclass
+class CallSite:
+    """One resolved outgoing call edge."""
+
+    call: ast.Call
+    callee: SymbolInfo
+    kind: str  # "direct" | "method" | "executor" | "callback"
+
+
+@dataclass
+class FunctionNode:
+    """A function definition plus its resolved outgoing edges."""
+
+    symbol: SymbolInfo
+    calls: list[CallSite] = field(default_factory=list)
+
+    @property
+    def is_async(self) -> bool:
+        """Whether the underlying definition is an ``async def``."""
+        return self.symbol.is_async
+
+
+@dataclass
+class _Env:
+    """Resolution context for one function body."""
+
+    module: str
+    cls: Optional[SymbolInfo]
+    types: dict[str, SymbolInfo] = field(default_factory=dict)
+
+
+class CallGraph:
+    """Resolved call edges for every function in a :class:`Project`."""
+
+    def __init__(self, project: "Project", symbols: SymbolGraph) -> None:
+        self.symbols = symbols
+        self.nodes: dict[str, FunctionNode] = {}
+        self.by_ast: dict[int, FunctionNode] = {}
+        self._attr_types: dict[str, dict[str, SymbolInfo]] = {}
+        for table in symbols.tables.values():
+            for sym in table.defs.values():
+                if sym.kind != "function" or sym.node is None:
+                    continue
+                node = FunctionNode(symbol=sym)
+                self.nodes[sym.qualname] = node
+                self.by_ast[id(sym.node)] = node
+        for node in list(self.nodes.values()):
+            self._collect_calls(node)
+
+    # ----------------------------------------------------------------- lookup
+
+    def function_at(self, def_node: ast.AST) -> Optional[FunctionNode]:
+        """The graph node for an ast (Async)FunctionDef, if known."""
+        return self.by_ast.get(id(def_node))
+
+    def node(self, qualname: str) -> Optional[FunctionNode]:
+        """The graph node for a fully-qualified function name."""
+        return self.nodes.get(qualname)
+
+    def callable_body(self, sym: SymbolInfo) -> Optional[FunctionNode]:
+        """The function node a call on ``sym`` executes.
+
+        Functions map to themselves; classes map to their ``__init__``
+        (walking resolvable bases); everything else has no body here.
+        """
+        if sym.kind == "function":
+            return self.nodes.get(sym.qualname)
+        if sym.kind == "class":
+            init = self.symbols.class_member(sym, "__init__")
+            if init is not None:
+                return self.nodes.get(init.qualname)
+        return None
+
+    # ------------------------------------------------------------ env building
+
+    def _enclosing_class(self, table_module: str, local_name: str) -> Optional[SymbolInfo]:
+        if "." not in local_name:
+            return None
+        prefix = local_name.rsplit(".", 1)[0]
+        table = self.symbols.tables.get(table_module)
+        if table is None:
+            return None
+        owner = table.defs.get(prefix)
+        if owner is not None and owner.kind == "class":
+            return owner
+        return None
+
+    def _annotation_symbol(self, module: str, node: Optional[ast.AST]) -> Optional[SymbolInfo]:
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            text: Optional[str] = node.value if node.value.replace(".", "").isidentifier() else None
+        elif isinstance(node, ast.Subscript):
+            value = node.value
+            if isinstance(value, ast.Name) and value.id == "Optional":
+                return self._annotation_symbol(module, node.slice)
+            return None
+        else:
+            text = _dotted(node)
+        if not text:
+            return None
+        sym = self.symbols.resolve_dotted(module, text)
+        if sym is not None and sym.kind == "class":
+            return sym
+        return None
+
+    def _class_attr_types(self, cls: SymbolInfo) -> dict[str, SymbolInfo]:
+        cached = self._attr_types.get(cls.qualname)
+        if cached is not None:
+            return cached
+        result: dict[str, SymbolInfo] = {}
+        self._attr_types[cls.qualname] = result
+        if cls.node is None or not isinstance(cls.node, ast.ClassDef):
+            return result
+        module = cls.module
+
+        def record_ann(name: str, annotation: Optional[ast.AST]) -> None:
+            sym = self._annotation_symbol(module, annotation)
+            if sym is not None:
+                result[name] = sym
+
+        for stmt in cls.node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                record_ann(stmt.target.id, stmt.annotation)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for sub in own_body(stmt):
+                    if isinstance(sub, ast.AnnAssign) and _is_self_attr(sub.target):
+                        record_ann(sub.target.attr, sub.annotation)  # type: ignore[union-attr]
+                    elif isinstance(sub, ast.Assign):
+                        for target in sub.targets:
+                            if _is_self_attr(target):
+                                sym = self._value_class(module, sub.value, stmt)
+                                if sym is not None:
+                                    result[target.attr] = sym  # type: ignore[union-attr]
+        return result
+
+    def _value_class(
+        self, module: str, value: ast.AST, owner: Optional[ast.AST]
+    ) -> Optional[SymbolInfo]:
+        """Class an assigned value is an instance of, if provable."""
+        if isinstance(value, ast.Call):
+            text = _dotted(value.func)
+            if text:
+                sym = self.symbols.resolve_dotted(module, text)
+                if sym is not None and sym.kind == "class":
+                    return sym
+        elif isinstance(value, ast.Name) and owner is not None:
+            # ``self.attr = param`` / ``x = param`` with an annotation.
+            for arg in _all_args(owner):
+                if arg.arg == value.id:
+                    return self._annotation_symbol(module, arg.annotation)
+        return None
+
+    def _build_env(self, sym: SymbolInfo) -> _Env:
+        env = _Env(module=sym.module, cls=self._enclosing_class(sym.module, sym.name))
+        fn = sym.node
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return env
+        for arg in _all_args(fn):
+            resolved = self._annotation_symbol(sym.module, arg.annotation)
+            if resolved is not None:
+                env.types[arg.arg] = resolved
+        for stmt in own_body(fn):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    inferred = self._value_class(sym.module, stmt.value, fn)
+                    if inferred is not None:
+                        env.types[target.id] = inferred
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                inferred = self._annotation_symbol(sym.module, stmt.annotation)
+                if inferred is not None:
+                    env.types[stmt.target.id] = inferred
+        return env
+
+    # ---------------------------------------------------------- call resolution
+
+    def _receiver_class(self, env: _Env, node: ast.AST) -> Optional[SymbolInfo]:
+        if isinstance(node, ast.Name):
+            if node.id == "self":
+                return env.cls
+            return env.types.get(node.id)
+        if isinstance(node, ast.Attribute):
+            # Chase attribute chains through typed attributes, so
+            # ``service.registry.available()`` resolves when ``service``
+            # has a known class and its ``registry`` attr a known type.
+            base = self._receiver_class(env, node.value)
+            if base is not None:
+                return self._class_attr_types(base).get(node.attr)
+        return None
+
+    def resolve_callable(self, env_module: str, env: _Env, node: ast.AST) -> Optional[SymbolInfo]:
+        """Resolve a function-valued expression (not a call) to a symbol."""
+        if isinstance(node, ast.Name):
+            return self.symbols.resolve(env_module, node.id)
+        if isinstance(node, ast.Attribute):
+            recv = self._receiver_class(env, node.value)
+            if recv is not None:
+                return self.symbols.class_member(recv, node.attr)
+            text = _dotted(node)
+            if text:
+                return self.symbols.resolve_dotted(env_module, text)
+        return None
+
+    def _resolve_call(self, env: _Env, call: ast.Call) -> Optional[tuple[SymbolInfo, str]]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            sym = self.symbols.resolve(env.module, func.id)
+            if sym is not None and sym.kind in ("function", "class", "lambda"):
+                return sym, "direct"
+            return None
+        if isinstance(func, ast.Attribute):
+            recv = self._receiver_class(env, func.value)
+            if recv is not None:
+                member = self.symbols.class_member(recv, func.attr)
+                if member is not None:
+                    return member, "method"
+                return None
+            text = _dotted(func)
+            if text:
+                sym = self.symbols.resolve_dotted(env.module, text)
+                if sym is not None and sym.kind in ("function", "class", "lambda"):
+                    return sym, "direct"
+        return None
+
+    def _slot_arg(self, call: ast.Call, tail: str) -> Optional[ast.AST]:
+        if tail in _EXECUTOR_KWARGS:
+            wanted = _EXECUTOR_KWARGS[tail]
+            for kw in call.keywords:
+                if kw.arg == wanted:
+                    return kw.value
+            return None
+        slot = _EXECUTOR_SLOTS.get(tail)
+        if slot is None:
+            slot = _CALLBACK_SLOTS.get(tail)
+        if slot is None or slot >= len(call.args):
+            return None
+        arg = call.args[slot]
+        if isinstance(arg, ast.Starred):
+            return None
+        return arg
+
+    def _collect_calls(self, node: FunctionNode) -> None:
+        fn = node.symbol.node
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        env = self._build_env(node.symbol)
+        for child in own_body(fn):
+            if not isinstance(child, ast.Call):
+                continue
+            resolved = self._resolve_call(env, child)
+            if resolved is not None:
+                callee, kind = resolved
+                node.calls.append(CallSite(call=child, callee=callee, kind=kind))
+            tail = _call_tail(child)
+            if tail is None:
+                continue
+            if tail in _CALLBACK_SLOTS:
+                kind = "callback"
+            elif tail in _EXECUTOR_SLOTS or tail in _EXECUTOR_KWARGS:
+                if tail == "map" and not isinstance(child.func, ast.Attribute):
+                    continue  # builtin ``map`` is lazy, not a dispatch
+                kind = "executor"
+            else:
+                continue
+            arg = self._slot_arg(child, tail)
+            if arg is None:
+                continue
+            target = self.resolve_callable(env.module, env, arg)
+            if target is not None and target.kind in ("function", "lambda"):
+                node.calls.append(CallSite(call=child, callee=target, kind=kind))
+
+    # -------------------------------------------------------------- convenience
+
+    def env_for(self, source: "SourceFile", def_node: ast.AST) -> _Env:
+        """A resolution env for ad-hoc queries inside ``def_node``."""
+        fn_node = self.by_ast.get(id(def_node))
+        if fn_node is not None:
+            return self._build_env(fn_node.symbol)
+        return _Env(module=module_path(source.relpath), cls=None)
+
+
+def _call_tail(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _all_args(fn: ast.AST) -> list[ast.arg]:
+    if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return []
+    a = fn.args
+    out = list(a.posonlyargs) + list(a.args) + list(a.kwonlyargs)
+    if a.vararg:
+        out.append(a.vararg)
+    if a.kwarg:
+        out.append(a.kwarg)
+    return out
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )

@@ -8,21 +8,25 @@ Examples::
     python -m repro.analysis --select DET001,DET005
     python -m repro.analysis --root tests/analysis/fixtures   # any corpus
     python -m repro.analysis --list-rules
+    python -m repro.analysis --format github                  # PR annotations
+    python -m repro.analysis --from-report results/ANALYSIS_baseline.json \
+        --format github                                       # re-render, no re-run
 
 Exit status: 0 when no unsuppressed finding remains, 1 otherwise,
-2 on usage errors (unknown rule ids, missing paths).
+2 on usage errors (unknown rule ids, missing paths, stale reports).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Sequence
 
 from .core import rule_catalog
-from .reporters import render_human, render_json
-from .runner import run_analysis
+from .reporters import render_github, render_human, render_json, report_from_payload
+from .runner import repo_root, run_analysis
 
 __all__ = ["main", "build_parser"]
 
@@ -51,9 +55,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "github"),
         default="human",
-        help="report format (default: human)",
+        help="report format (default: human; github = Actions annotations)",
+    )
+    parser.add_argument(
+        "--from-report",
+        type=Path,
+        default=None,
+        help="re-render a saved JSON report instead of re-running the analyzer",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-hash AST cache for this run",
     )
     parser.add_argument(
         "-o",
@@ -102,18 +117,29 @@ def main(argv: Sequence[str] | None = None) -> int:
         if not path.exists():
             print(f"error: no such path: {path}", file=sys.stderr)
             return 2
-    try:
-        report = run_analysis(
-            args.paths or None,
-            root=args.root,
-            select=_split_ids(args.select),
-            ignore=_split_ids(args.ignore),
-        )
-    except ValueError as exc:  # unknown rule ids
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    if args.from_report is not None:
+        try:
+            payload = json.loads(args.from_report.read_text())
+            report = report_from_payload(payload, args.root or repo_root())
+        except (OSError, ValueError) as exc:  # missing file / stale schema
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            report = run_analysis(
+                args.paths or None,
+                root=args.root,
+                select=_split_ids(args.select),
+                ignore=_split_ids(args.ignore),
+                use_cache=not args.no_cache,
+            )
+        except ValueError as exc:  # unknown rule ids
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.format == "json":
         text = render_json(report)
+    elif args.format == "github":
+        text = render_github(report) + "\n"
     else:
         text = render_human(report, show_suppressed=args.show_suppressed) + "\n"
     if args.output is not None:

@@ -14,11 +14,13 @@ would race with sibling workers reading the same bytes).
 from __future__ import annotations
 
 import ast
-from typing import Iterable
+from typing import Iterable, Optional
 
-from .astutil import call_chain, enclosing_function, first_arg
+from .astutil import call_chain, dotted_name, enclosing_function, first_arg
+from .callgraph import own_body
 from .core import Finding, Rule, register
-from .walker import SourceFile
+from .symbols import SymbolInfo, module_path
+from .walker import Project, SourceFile
 
 __all__ = [
     "UnpicklableDispatchRule",
@@ -89,12 +91,30 @@ class UnpicklableDispatchRule(Rule):
         "disable the very parallelism the call asks for."
     )
 
+    def setup(self, project: Project) -> None:
+        """Keep the project for cross-module target resolution."""
+        self._project = project
+
     def applies_to(self, source: SourceFile) -> bool:
         """Everywhere — a silently-serial dispatch is a bug in any tree."""
         return _parsed(source)
 
+    def _resolve_target(self, source: SourceFile, fn: ast.AST) -> Optional[SymbolInfo]:
+        """Resolve a dispatched name through the symbol graph."""
+        text = dotted_name(fn)
+        if text is None:
+            return None
+        symbols = self._project.semantics.symbols
+        return symbols.resolve_dotted(module_path(source.relpath), text)
+
     def check(self, source: SourceFile) -> Iterable[Finding]:
-        """Flag lambdas / nested defs handed to a pool dispatch."""
+        """Flag lambdas / nested defs handed to a pool dispatch.
+
+        Local bindings are judged lexically; anything else is resolved
+        through the project symbol graph, so a lambda or nested def
+        reached through an import (or a package re-export) is caught at
+        the dispatch site too.
+        """
         tree = source.tree
         nested = _nested_defs(tree, source.parent)
         module_level = _module_level_defs(tree)
@@ -112,16 +132,26 @@ class UnpicklableDispatchRule(Rule):
                     "lambda dispatched through a process pool cannot pickle "
                     "and silently runs serial; hoist it to a module-level def",
                 )
-            elif isinstance(fn, ast.Name):
-                if fn.id in lambdas or (
-                    fn.id in nested and fn.id not in module_level
-                ):
+            elif isinstance(fn, ast.Name) and (
+                fn.id in lambdas or (fn.id in nested and fn.id not in module_level)
+            ):
+                yield self.finding(
+                    source,
+                    fn,
+                    f"`{fn.id}` is defined inside a function scope and "
+                    "cannot pickle for pool dispatch; hoist it to module "
+                    "level (or functools.partial of a module-level def)",
+                )
+            else:
+                target = self._resolve_target(source, fn)
+                if target is not None and not target.picklable_by_reference:
+                    what = "a lambda" if target.kind == "lambda" else "a nested def"
                     yield self.finding(
                         source,
                         fn,
-                        f"`{fn.id}` is defined inside a function scope and "
-                        "cannot pickle for pool dispatch; hoist it to module "
-                        "level (or functools.partial of a module-level def)",
+                        f"dispatch target resolves to `{target.qualname}`, "
+                        f"{what} that cannot pickle for pool dispatch; it "
+                        "silently runs serial — bind a module-level def",
                     )
 
 
@@ -137,12 +167,103 @@ class ShmLifecycleRule(Rule):
         "it to an instance attribute of an object whose close() runs it."
     )
 
+    #: Handoff depth for "a callee closes it" ownership transfer.
+    _HANDOFF_DEPTH = 3
+
+    def setup(self, project: Project) -> None:
+        """Keep the project for interprocedural ownership checks."""
+        self._project = project
+
     def applies_to(self, source: SourceFile) -> bool:
         """Everywhere except the defining module itself."""
         return _parsed(source) and not source.relpath.endswith("repro/parallel/shm.py")
 
+    @staticmethod
+    def _closes(stmts: Iterable[ast.AST], name: str) -> bool:
+        """Whether ``<name>.close()`` / ``.unlink_all()`` appears here."""
+        stack = list(stmts)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("close", "unlink_all")
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+            ):
+                return True
+            stack.extend(ast.iter_child_nodes(node))
+        return False
+
+    def _closed_in_finally(self, owner: ast.AST, name: str) -> bool:
+        for node in own_body(owner):
+            if isinstance(node, ast.Try) and self._closes(node.finalbody, name):
+                return True
+        return False
+
+    def _callee_closes(
+        self, source: SourceFile, owner: ast.AST, name: str, depth: int = 0
+    ) -> bool:
+        """Whether the store is handed to a project function that closes it.
+
+        Follows the symbol graph through at most ``_HANDOFF_DEPTH``
+        ownership transfers; anything unresolvable counts as *not*
+        closed, so this only ever removes findings when ownership is
+        provable.
+        """
+        if depth >= self._HANDOFF_DEPTH:
+            return False
+        symbols = self._project.semantics.symbols
+        callgraph = self._project.semantics.callgraph
+        module = module_path(source.relpath)
+        for node in own_body(owner):
+            if not isinstance(node, ast.Call):
+                continue
+            pos = next(
+                (
+                    i
+                    for i, arg in enumerate(node.args)
+                    if isinstance(arg, ast.Name) and arg.id == name
+                ),
+                None,
+            )
+            if pos is None:
+                continue
+            text = dotted_name(node.func)
+            if text is None:
+                continue
+            target = symbols.resolve_dotted(module, text)
+            if target is None:
+                continue
+            body = callgraph.callable_body(target)
+            if body is None or body.symbol.node is None:
+                continue
+            fn_ast = body.symbol.node
+            if not isinstance(fn_ast, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            params = [a.arg for a in fn_ast.args.posonlyargs + fn_ast.args.args]
+            if params and params[0] in ("self", "cls"):
+                params = params[1:]
+            if pos >= len(params):
+                continue
+            param = params[pos]
+            if self._closes(fn_ast.body, param) or (
+                body.symbol.source is not None
+                and self._callee_closes(body.symbol.source, fn_ast, param, depth + 1)
+            ):
+                return True
+        return False
+
     def check(self, source: SourceFile) -> Iterable[Finding]:
-        """Flag bare-local construction of SharedArrayStore."""
+        """Flag bare-local construction of SharedArrayStore.
+
+        Ownership is accepted when the store is (a) a ``with`` context,
+        (b) assigned to a ``self`` attribute, (c) closed in a
+        ``finally`` block of the constructing function, or (d) handed to
+        a project function that provably closes it (call-graph check).
+        """
         for node in ast.walk(source.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -159,11 +280,22 @@ class ShmLifecycleRule(Rule):
                 for t in parent.targets
             ):
                 continue  # lifecycle owned by the enclosing object's close()
+            if isinstance(parent, ast.Assign) and all(
+                isinstance(t, ast.Name) for t in parent.targets
+            ):
+                owner = enclosing_function(node, source.parent) or source.tree
+                names = [t.id for t in parent.targets if isinstance(t, ast.Name)]
+                if all(
+                    self._closed_in_finally(owner, n) or self._callee_closes(source, owner, n)
+                    for n in names
+                ):
+                    continue
             yield self.finding(
                 source,
                 node,
-                "SharedArrayStore() outside a `with` block or self-attribute "
-                "assignment; segments may leak if close() is skipped",
+                "SharedArrayStore() without an owned unlink path (no `with`, "
+                "self-attribute, finally-close, or provable callee close); "
+                "segments may leak if close() is skipped",
             )
 
 

@@ -1,24 +1,39 @@
-"""Human and JSON renderings of an :class:`AnalysisReport`.
+"""Human, JSON, and GitHub-annotation renderings of a report.
 
 The JSON form is versioned and machine-stable (sorted keys, no
-timestamps or absolute paths), so ``results/ANALYSIS_baseline.json`` —
-a committed snapshot of the per-rule finding counts — diffs cleanly
-when future PRs change the rule pack or introduce findings.
+timestamps, absolute paths, or cache temperatures), so
+``results/ANALYSIS_baseline.json`` — a committed snapshot of the
+per-rule finding counts — diffs cleanly when future PRs change the rule
+pack or introduce findings.  Since version 2 the payload also carries
+the walked file list, which makes it *complete*: a saved report can be
+re-rendered in any format via :func:`report_from_payload` without
+re-running the analyzer (how CI shares one run between its gate,
+annotation, and baseline-diff steps).
 """
 
 from __future__ import annotations
 
 import json
+from pathlib import Path
+from typing import Any
 
-from .core import rule_catalog
+from .core import Finding, rule_catalog
 from .runner import AnalysisReport
 
-__all__ = ["REPORT_SCHEMA", "REPORT_VERSION", "render_human", "render_json"]
+__all__ = [
+    "REPORT_SCHEMA",
+    "REPORT_VERSION",
+    "render_human",
+    "render_json",
+    "render_github",
+    "report_from_payload",
+]
 
 #: Schema marker embedded in every JSON report.
 REPORT_SCHEMA = "repro.analysis.report"
 #: Bumped on any backwards-incompatible field change.
-REPORT_VERSION = 1
+#: v2: added ``files`` and ``totals`` (report reconstruction support).
+REPORT_VERSION = 2
 
 
 def render_human(report: AnalysisReport, *, show_suppressed: bool = False) -> str:
@@ -28,11 +43,13 @@ def render_human(report: AnalysisReport, *, show_suppressed: bool = False) -> st
     for finding in shown:
         lines.append(finding.format())
     n_sup = len(report.suppressed)
+    parsed = report.cache_hits + report.cache_misses
     summary = (
         f"[repro.analysis] {len(report.files)} files, "
         f"{len(report.rules_run)} rules, "
         f"{len(report.unsuppressed)} finding(s)"
         + (f", {n_sup} suppressed" if n_sup else "")
+        + (f", cache {report.cache_hits}/{parsed} hits" if parsed else "")
     )
     lines.append(summary)
     return "\n".join(lines)
@@ -45,9 +62,14 @@ def render_json(report: AnalysisReport) -> str:
         "schema": REPORT_SCHEMA,
         "version": REPORT_VERSION,
         "n_files": len(report.files),
+        "files": list(report.files),
         "rules": {
             rid: {"name": names.get(rid, ""), **counts}
             for rid, counts in sorted(report.counts_by_rule().items())
+        },
+        "totals": {
+            "findings": len(report.unsuppressed),
+            "suppressed": len(report.suppressed),
         },
         "findings": [
             {
@@ -63,3 +85,68 @@ def render_json(report: AnalysisReport) -> str:
         "exit_code": report.exit_code,
     }
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _gh_escape_message(text: str) -> str:
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _gh_escape_property(text: str) -> str:
+    return (
+        _gh_escape_message(text).replace(":", "%3A").replace(",", "%2C")
+    )
+
+
+def render_github(report: AnalysisReport) -> str:
+    """GitHub Actions workflow commands: inline PR annotations.
+
+    Unsuppressed findings render as ``::error`` (they fail the gate);
+    suppressed ones as ``::notice`` so the vetted exceptions stay
+    visible in the UI without failing anything.
+    """
+    lines = []
+    for f in report.findings:
+        level = "notice" if f.suppressed else "error"
+        title = f"repro.analysis {f.rule_id}" + (" (suppressed)" if f.suppressed else "")
+        props = (
+            f"file={_gh_escape_property(f.path)},line={f.line},"
+            f"col={f.col + 1},title={_gh_escape_property(title)}"
+        )
+        lines.append(f"::{level} {props}::{_gh_escape_message(f.message)}")
+    lines.append(
+        f"[repro.analysis] {len(report.files)} files, "
+        f"{len(report.rules_run)} rules, "
+        f"{len(report.unsuppressed)} finding(s), "
+        f"{len(report.suppressed)} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def report_from_payload(payload: dict[str, Any], root: Path) -> AnalysisReport:
+    """Reconstruct a report from a version-2 JSON payload.
+
+    Raises ``ValueError`` on schema/version mismatch — older payloads
+    lack the file list and cannot round-trip.
+    """
+    if payload.get("schema") != REPORT_SCHEMA:
+        raise ValueError(f"not an analysis report (schema={payload.get('schema')!r})")
+    if payload.get("version") != REPORT_VERSION:
+        raise ValueError(
+            f"report version {payload.get('version')!r} != {REPORT_VERSION}; re-run the analyzer"
+        )
+    return AnalysisReport(
+        root=root,
+        files=list(payload.get("files", [])),
+        rules_run=sorted(payload.get("rules", {})),
+        findings=[
+            Finding(
+                rule_id=f["rule"],
+                path=f["path"],
+                line=f["line"],
+                col=f["col"],
+                message=f["message"],
+                suppressed=f["suppressed"],
+            )
+            for f in payload.get("findings", [])
+        ],
+    )

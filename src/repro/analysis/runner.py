@@ -34,6 +34,10 @@ class AnalysisReport:
     files: list[str] = field(default_factory=list)
     rules_run: list[str] = field(default_factory=list)
     findings: list[Finding] = field(default_factory=list)
+    #: Parse-cache accounting (kept out of the JSON report on purpose:
+    #: the baseline diff must not depend on cache temperature).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def unsuppressed(self) -> list[Finding]:
@@ -90,6 +94,7 @@ def run_analysis(
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
     rules: Sequence[Rule] | None = None,
+    use_cache: bool = True,
 ) -> AnalysisReport:
     """Run the rule set over *paths* and return the report.
 
@@ -97,11 +102,12 @@ def run_analysis(
     the repository containing this package).  ``paths`` defaults to the
     standard ``src``/``tools``/``tests`` roots below ``root``.
     ``select``/``ignore`` filter rules by id; ``rules`` injects explicit
-    instances (used by the framework's own tests).
+    instances (used by the framework's own tests).  ``use_cache``
+    controls the content-hash AST cache.
     """
     root_path = Path(root) if root is not None else repo_root()
     path_list = [Path(p) for p in paths] if paths else None
-    project = build_project(root_path, path_list)
+    project = build_project(root_path, path_list, use_cache=use_cache)
     active = list(rules) if rules is not None else all_rules(select, ignore)
 
     findings: list[Finding] = []
@@ -134,4 +140,6 @@ def run_analysis(
         files=[s.relpath for s in project.sources],
         rules_run=[r.rule_id for r in active],
         findings=findings,
+        cache_hits=project.cache_hits,
+        cache_misses=project.cache_misses,
     )

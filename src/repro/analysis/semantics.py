@@ -1,0 +1,63 @@
+"""The ``Project.semantics`` facade: symbol graph + call graph, memoized.
+
+Building the graphs costs one AST walk over every parsed file, so the
+result is memoized per *content fingerprint* of the walked corpus: two
+projects over the same set of ``(relpath, content_hash)`` pairs share
+one ``Semantics`` instance within a process.  This is what lets
+``tests/analysis/test_repo_clean.py`` call :func:`run_analysis` several
+times while the graphs are built once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .callgraph import CallGraph
+from .symbols import SymbolGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .walker import Project
+
+__all__ = ["Semantics", "semantics_for"]
+
+
+@dataclass
+class Semantics:
+    """Interprocedural view of a walked project."""
+
+    symbols: SymbolGraph
+    callgraph: CallGraph
+
+
+_MEMO: dict[tuple[tuple[str, str, int], ...], Semantics] = {}
+
+
+def corpus_key(project: "Project") -> tuple[tuple[str, str, int], ...]:
+    """Content + tree-identity fingerprint of every parsed file.
+
+    The tree id matters because the call graph indexes AST nodes by
+    ``id()``: a memo hit is only valid when the project literally shares
+    the cached tree objects (which the in-process AST cache arranges).
+    A reparse of identical content gets a fresh — equivalent — build.
+    The memoized graphs keep the trees alive, so ids cannot be reused.
+    """
+    return tuple(
+        sorted(
+            (s.relpath, s.content_hash, id(s.tree))
+            for s in project.sources
+            if s.tree is not None
+        )
+    )
+
+
+def semantics_for(project: "Project") -> Semantics:
+    """Build (or reuse) the semantics layer for a project."""
+    key = corpus_key(project)
+    hit = _MEMO.get(key)
+    if hit is not None:
+        return hit
+    symbols = SymbolGraph(project)
+    built = Semantics(symbols=symbols, callgraph=CallGraph(project, symbols))
+    _MEMO[key] = built
+    return built

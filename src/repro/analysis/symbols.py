@@ -1,0 +1,288 @@
+"""Project-wide symbol graph: definitions, imports, and re-export chains.
+
+This is the name-resolution half of the semantics layer (the other half
+is :mod:`repro.analysis.callgraph`).  For every parsed source file it
+records the module's local definitions (classes, functions, methods,
+nested defs, module-level lambda bindings) and its import bindings, then
+answers "what does name ``X`` used in module ``M`` actually refer to?" —
+following ``from .mod import name`` chains, aliases, and package
+``__init__`` re-exports across the whole walked tree.
+
+Resolution is deliberately approximate and *silent on failure*: a name
+that leaves the walked tree (stdlib, third-party, dynamic) resolves to
+``None``, and rules built on top must treat ``None`` as "no finding".
+See docs/STATIC_ANALYSIS.md for the false-negative contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .walker import Project, SourceFile
+
+__all__ = ["SymbolInfo", "ModuleTable", "SymbolGraph", "module_path"]
+
+
+def module_path(relpath: str) -> str:
+    """Dotted module path for a root-relative ``.py`` path.
+
+    ``src/repro/serving/router.py`` -> ``repro.serving.router`` and a
+    package ``__init__.py`` maps to the package itself.  Paths outside
+    ``src/`` (tests, tools, fixture corpora) keep their directory
+    prefix, which is enough to make resolution *within* such a corpus
+    work when it is walked as its own root.
+    """
+    parts = relpath.split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class SymbolInfo:
+    """One resolved definition: a module, class, function, or lambda."""
+
+    module: str
+    name: str
+    kind: str  # "module" | "class" | "function" | "lambda"
+    is_async: bool = False
+    nested: bool = False
+    node: Optional[ast.AST] = None
+    source: Optional["SourceFile"] = None
+
+    @property
+    def qualname(self) -> str:
+        """Stable project-wide identifier, e.g. ``repro.x.Cls.meth``."""
+        return f"{self.module}.{self.name}" if self.name else self.module
+
+    @property
+    def picklable_by_reference(self) -> bool:
+        """Whether ``pickle`` can ship this callable by qualified name.
+
+        Module-level functions and classes pickle by reference; lambdas
+        and defs nested inside another function do not, which is what
+        interprocedural CONC001 cares about.
+        """
+        if self.kind == "lambda" or self.nested:
+            return False
+        return self.kind in ("function", "class")
+
+
+@dataclass
+class ModuleTable:
+    """Per-module symbol table: local defs plus import bindings."""
+
+    module: str
+    source: "SourceFile"
+    defs: dict[str, SymbolInfo] = field(default_factory=dict)
+    # local name -> (target module, target name or None for whole-module)
+    imports: dict[str, tuple[str, Optional[str]]] = field(default_factory=dict)
+    # class local name -> textual base-class names (resolved lazily)
+    class_bases: dict[str, list[str]] = field(default_factory=dict)
+
+
+def _import_base(module: str, source: "SourceFile", level: int) -> list[str]:
+    """Package parts a ``level``-dot relative import is anchored at."""
+    parts = module.split(".") if module else []
+    is_pkg = source.relpath.endswith("__init__.py")
+    pkg = parts if is_pkg else parts[:-1]
+    hops = level - 1
+    if hops:
+        pkg = pkg[: len(pkg) - hops] if hops <= len(pkg) else []
+    return pkg
+
+
+class _TableBuilder(ast.NodeVisitor):
+    """Collects one module's defs and import bindings."""
+
+    def __init__(self, table: ModuleTable) -> None:
+        self.table = table
+        self._prefix: list[str] = []
+        self._fn_depth = 0
+
+    def _local_name(self, name: str) -> str:
+        return ".".join(self._prefix + [name])
+
+    def _add_def(self, name: str, kind: str, node: ast.AST, is_async: bool = False) -> None:
+        local = self._local_name(name)
+        self.table.defs[local] = SymbolInfo(
+            module=self.table.module,
+            name=local,
+            kind=kind,
+            is_async=is_async,
+            nested=self._fn_depth > 0,
+            node=node,
+            source=self.table.source,
+        )
+
+    def _visit_function(self, node: ast.AST, name: str, is_async: bool) -> None:
+        self._add_def(name, "function", node, is_async=is_async)
+        self._prefix.append(name)
+        self._fn_depth += 1
+        self.generic_visit(node)
+        self._fn_depth -= 1
+        self._prefix.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, node.name, is_async=False)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, node.name, is_async=True)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._add_def(node.name, "class", node)
+        bases = []
+        for base in node.bases:
+            text = _dotted(base)
+            if text:
+                bases.append(text)
+        self.table.class_bases[self._local_name(node.name)] = bases
+        self._prefix.append(node.name)
+        self.generic_visit(node)
+        self._prefix.pop()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._add_def(target.id, "lambda", node.value)
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname:
+                self.table.imports[alias.asname] = (alias.name, None)
+            else:
+                # ``import a.b.c`` binds the top-level package name.
+                top = alias.name.split(".")[0]
+                self.table.imports[top] = (top, None)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:
+            pkg = _import_base(self.table.module, self.table.source, node.level)
+            target_mod = ".".join(pkg + (node.module.split(".") if node.module else []))
+        else:
+            target_mod = node.module or ""
+        for alias in node.names:
+            if alias.name == "*":
+                continue  # star imports are not followed (documented gap)
+            local = alias.asname or alias.name
+            self.table.imports[local] = (target_mod, alias.name)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class SymbolGraph:
+    """Cross-module name resolution over a walked :class:`Project`."""
+
+    def __init__(self, project: "Project") -> None:
+        self.tables: dict[str, ModuleTable] = {}
+        for source in project.sources:
+            if source.tree is None:
+                continue
+            mod = module_path(source.relpath)
+            table = ModuleTable(module=mod, source=source)
+            _TableBuilder(table).visit(source.tree)
+            self.tables[mod] = table
+
+    def module(self, name: str) -> Optional[ModuleTable]:
+        """The table for a dotted module path, if it was walked."""
+        return self.tables.get(name)
+
+    def _module_symbol(self, name: str) -> Optional[SymbolInfo]:
+        table = self.tables.get(name)
+        if table is None:
+            return None
+        return SymbolInfo(module=name, name="", kind="module", source=table.source)
+
+    def resolve(
+        self,
+        module: str,
+        name: str,
+        _seen: Optional[set[tuple[str, str]]] = None,
+    ) -> Optional[SymbolInfo]:
+        """Resolve a bare ``name`` used in ``module`` to its definition.
+
+        Follows import and re-export chains with a cycle guard; returns
+        ``None`` whenever the chain leaves the walked tree.
+        """
+        table = self.tables.get(module)
+        if table is None:
+            return None
+        if name in table.defs:
+            return table.defs[name]
+        if name in table.imports:
+            key = (module, name)
+            seen = _seen if _seen is not None else set()
+            if key in seen:
+                return None
+            seen.add(key)
+            target_mod, target_name = table.imports[name]
+            if target_name is None:
+                return self._module_symbol(target_mod)
+            resolved = self.resolve(target_mod, target_name, seen)
+            if resolved is not None:
+                return resolved
+            # ``from pkg import mod`` where ``mod`` is a submodule.
+            return self._module_symbol(f"{target_mod}.{target_name}")
+        # Implicit submodule: ``pkg/__init__`` may reference ``pkg.sub``.
+        return self._module_symbol(f"{module}.{name}")
+
+    def resolve_dotted(self, module: str, dotted: str) -> Optional[SymbolInfo]:
+        """Resolve a dotted use like ``mod.Cls.method`` seen in ``module``."""
+        parts = dotted.split(".")
+        sym = self.resolve(module, parts[0])
+        for part in parts[1:]:
+            if sym is None:
+                return None
+            if sym.kind == "module":
+                sym = self.resolve(sym.module, part)
+            elif sym.kind == "class":
+                sym = self.class_member(sym, part)
+            else:
+                return None
+        return sym
+
+    def class_member(
+        self,
+        cls: SymbolInfo,
+        name: str,
+        _seen: Optional[set[str]] = None,
+    ) -> Optional[SymbolInfo]:
+        """Look up a method/nested class on ``cls``, walking resolvable bases."""
+        if cls.kind != "class":
+            return None
+        table = self.tables.get(cls.module)
+        if table is None:
+            return None
+        member = table.defs.get(f"{cls.name}.{name}")
+        if member is not None:
+            return member
+        seen = _seen if _seen is not None else set()
+        if cls.qualname in seen:
+            return None
+        seen.add(cls.qualname)
+        for base_text in table.class_bases.get(cls.name, ()):
+            base = self.resolve_dotted(cls.module, base_text)
+            if base is not None and base.kind == "class":
+                found = self.class_member(base, name, seen)
+                if found is not None:
+                    return found
+        return None

@@ -27,8 +27,13 @@ import ast
 import enum
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
+from .cache import AstCache, content_hash
 from .suppressions import parse_suppressions
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .semantics import Semantics
 
 __all__ = ["Scope", "SourceFile", "Project", "build_project", "DEFAULT_ROOT_NAMES"]
 
@@ -36,7 +41,7 @@ __all__ = ["Scope", "SourceFile", "Project", "build_project", "DEFAULT_ROOT_NAME
 DEFAULT_ROOT_NAMES = ("src", "tools", "tests")
 
 #: Directory names never descended into.
-_EXCLUDED_DIRS = {"__pycache__", "fixtures", ".git", ".venv", "node_modules"}
+_EXCLUDED_DIRS = {"__pycache__", "fixtures", ".git", ".venv", "node_modules", ".repro_cache"}
 
 
 class Scope(enum.Enum):
@@ -60,6 +65,8 @@ class SourceFile:
     suppressions: dict[int, frozenset[str]]
     #: Syntax error message when ``tree`` is None.
     parse_error: str | None = None
+    #: sha256 of the file content — the AST-cache and semantics key.
+    content_hash: str = ""
 
     def parent(self, node: ast.AST) -> ast.AST | None:
         """Parent AST node (annotated at parse time), or ``None``."""
@@ -76,6 +83,20 @@ class Project:
     #: both-direction rules (dead contract entries, stale allowlists)
     #: are only meaningful over a complete corpus and skip partial runs.
     partial: bool = False
+    #: Parse-cache accounting for this walk (reported by the runner).
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def semantics(self) -> "Semantics":
+        """Interprocedural symbol/call graphs, built lazily on first use.
+
+        Memoized per corpus content in :mod:`repro.analysis.semantics`,
+        so repeated runs over an unchanged tree build the graphs once.
+        """
+        from .semantics import semantics_for
+
+        return semantics_for(self)
 
     def read_doc(self, relpath: str) -> str | None:
         """Text of a non-Python project file (e.g. the obs contract)."""
@@ -103,28 +124,40 @@ def _annotate_parents(tree: ast.Module) -> None:
             child._repro_parent = parent  # type: ignore[attr-defined]
 
 
-def parse_source(path: Path, root: Path) -> SourceFile:
-    """Parse one file into a :class:`SourceFile` (never raises on syntax)."""
+def parse_source(path: Path, root: Path, cache: AstCache | None = None) -> SourceFile:
+    """Parse one file into a :class:`SourceFile` (never raises on syntax).
+
+    With a *cache*, an unchanged file (same content hash) reuses the
+    previously parsed tree and suppression table instead of re-parsing.
+    """
     text = path.read_text()
+    digest = content_hash(text)
     try:
         rel = path.resolve().relative_to(root.resolve()).as_posix()
     except ValueError:
         rel = path.as_posix()
-    tree: ast.Module | None
-    error: str | None = None
-    try:
-        tree = ast.parse(text, filename=str(path))
-        _annotate_parents(tree)
-    except SyntaxError as exc:
-        tree, error = None, f"{exc.msg} (line {exc.lineno})"
+    entry = cache.get(digest) if cache is not None else None
+    if entry is not None:
+        tree, suppressions, error = entry
+    else:
+        error = None
+        try:
+            tree = ast.parse(text, filename=str(path))
+            _annotate_parents(tree)
+        except SyntaxError as exc:
+            tree, error = None, f"{exc.msg} (line {exc.lineno})"
+        suppressions = parse_suppressions(text)
+        if cache is not None:
+            cache.put(digest, (tree, suppressions, error))
     return SourceFile(
         path=path,
         relpath=rel,
         scope=_classify(rel),
         text=text,
         tree=tree,
-        suppressions=parse_suppressions(text),
+        suppressions=suppressions,
         parse_error=error,
+        content_hash=digest,
     )
 
 
@@ -141,12 +174,17 @@ def _iter_py_files(paths: list[Path]):
                 yield path
 
 
-def build_project(root: Path, paths: list[Path] | None = None) -> Project:
+def build_project(
+    root: Path, paths: list[Path] | None = None, use_cache: bool = True
+) -> Project:
     """Walk *paths* (default: the standard roots under *root*) and parse.
 
     When none of the standard root names exist under *root* — e.g. the
     fixture corpus — *root* itself is walked, so
     ``python -m repro.analysis --root <dir>`` analyzes any directory.
+
+    *use_cache* enables the content-hash AST cache (overridable via the
+    ``REPRO_ANALYSIS_CACHE`` env knob, see :mod:`repro.analysis.cache`).
     """
     root = root.resolve()
     partial = paths is not None
@@ -156,10 +194,12 @@ def build_project(root: Path, paths: list[Path] | None = None) -> Project:
             paths = [root]
     seen: set[Path] = set()
     project = Project(root=root, partial=partial)
+    cache = AstCache(root, enabled=use_cache)
     for path in _iter_py_files(paths):
         resolved = path.resolve()
         if resolved in seen:
             continue
         seen.add(resolved)
-        project.sources.append(parse_source(path, root))
+        project.sources.append(parse_source(path, root, cache))
+    project.cache_hits, project.cache_misses = cache.hits, cache.misses
     return project

@@ -346,7 +346,9 @@ class FleetRouter:
         if not isinstance(model, str) or not model:
             return error(400, "request needs a 'model' tag or content key")
         try:
-            key = self.registry.resolve(model)
+            # resolve() may read a tag file from the artifact store;
+            # hop through the executor so the loop never blocks on disk.
+            key = await loop.run_in_executor(None, self.registry.resolve, model)
         except ArtifactError as exc:
             return error(404, str(exc))
         if not self._map.shards:
@@ -427,7 +429,10 @@ class FleetRouter:
         if op == "ping":
             return {"status": 200, "op": "ping"}
         if op == "models":
-            return {"status": 200, "models": self.registry.available()}
+            # available() scans tag/meta files on disk; keep it off the loop.
+            loop = asyncio.get_running_loop()
+            models = await loop.run_in_executor(None, self.registry.available)
+            return {"status": 200, "models": models}
         if op == "stats":
             return await self._stats_op()
         if op == OP_FLEET:

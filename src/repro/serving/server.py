@@ -48,7 +48,11 @@ async def _handle_request(service: PredictionService, payload: dict) -> dict:
     if op == "ping":
         return {"status": 200, "op": "ping"}
     if op == "models":
-        return {"status": 200, "models": service.registry.available()}
+        # available() reads every tag/meta file in the artifact store;
+        # keep that disk scan off the event loop.
+        loop = asyncio.get_running_loop()
+        models = await loop.run_in_executor(None, service.registry.available)
+        return {"status": 200, "models": models}
     if op == "stats":
         return {"status": 200, "stats": service.stats()}
     return error(400, f"unknown op {op!r}")

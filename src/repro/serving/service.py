@@ -245,7 +245,11 @@ class PredictionService:
         obs.counter("serving.requests")
         t0 = time.perf_counter()
         try:
-            request, deadline_s = self._parse(payload)
+            # _parse may read a ~100-byte tag JSON when the model is
+            # addressed by tag rather than content key; an executor hop
+            # would cost more latency than the read itself, and the
+            # batcher right below this already amortizes real disk work.
+            request, deadline_s = self._parse(payload)  # repro: noqa[ASYNC002]
         except ValidationError as exc:
             return error(400, str(exc))
         except ArtifactError as exc:

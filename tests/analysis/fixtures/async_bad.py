@@ -1,0 +1,70 @@
+"""Known-bad asyncio idioms (positive cases for the ASYNC pack)."""
+
+import asyncio
+import subprocess
+import threading
+import time
+
+import numpy as np
+
+from repro.parallel.pool import parallel_map
+
+_LOCK = threading.Lock()
+
+
+async def fetch(url):
+    """A coroutine the bad callers below misuse."""
+    await asyncio.sleep(0)
+    return url
+
+
+async def fire_and_forget():
+    """ASYNC001: coroutine created but never awaited."""
+    fetch("x")  # ASYNC001
+    return None
+
+
+async def sleepy():
+    """ASYNC002: time.sleep stalls the whole event loop."""
+    time.sleep(0.1)  # ASYNC002
+
+
+async def reads_and_shells(path):
+    """ASYNC002 twice: file open and subprocess on the loop."""
+    with open(path) as fh:  # ASYNC002
+        data = fh.read()
+    subprocess.run(["true"])  # ASYNC002
+    return data
+
+
+async def heavy_math(x):
+    """ASYNC002: heavy numpy call on the loop."""
+    return np.linalg.svd(x)  # ASYNC002
+
+
+async def predicts(model, x):
+    """ASYNC002: model prediction on the loop."""
+    return model.predict_vector(x)  # ASYNC002
+
+
+async def guarded_update(values):
+    """ASYNC003: sync threading lock held across an await."""
+    with _LOCK:  # ASYNC003
+        await asyncio.sleep(0)
+    return values
+
+
+async def spawn_background():
+    """ASYNC004: create_task result dropped on the floor."""
+    asyncio.create_task(fetch("y"))  # ASYNC004
+    await asyncio.sleep(0)
+
+
+def dispatches_coroutine(items):
+    """ASYNC005: coroutine function handed to a pool dispatch."""
+    return parallel_map(fetch, items)  # ASYNC005
+
+
+async def offloads_coroutine(loop):
+    """ASYNC005: run_in_executor given an async def."""
+    return await loop.run_in_executor(None, fetch)  # ASYNC005

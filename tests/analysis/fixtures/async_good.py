@@ -1,0 +1,57 @@
+"""Known-good twins of the ASYNC fixtures (must stay silent)."""
+
+import asyncio
+
+from repro.parallel.pool import parallel_map
+
+
+def _double(x):
+    """A plain sync helper, safe for pools and executors."""
+    return 2 * x
+
+
+def _read_file(path):
+    """Sync file read meant to run on a worker thread."""
+    with open(path) as fh:
+        return fh.read()
+
+
+async def fetch(url):
+    """A coroutine used correctly by the callers below."""
+    await asyncio.sleep(0)
+    return url
+
+
+async def awaited_call():
+    """Good: the coroutine is awaited (no ASYNC001)."""
+    return await fetch("x")
+
+
+async def sleeps_async():
+    """Good: asyncio.sleep yields the loop (no ASYNC002)."""
+    await asyncio.sleep(0.01)
+
+
+async def offloads_blocking(path):
+    """Good: blocking read hops through the executor (no ASYNC002)."""
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, _read_file, path)
+
+
+async def locked_update(values):
+    """Good: asyncio.Lock may be held across await (no ASYNC003)."""
+    lock = asyncio.Lock()
+    async with lock:
+        await asyncio.sleep(0)
+    return values
+
+
+async def tracked_task():
+    """Good: the task reference is kept and awaited (no ASYNC004)."""
+    task = asyncio.create_task(fetch("y"))
+    return await task
+
+
+def dispatches_sync(items):
+    """Good: plain sync function through the pool (no ASYNC005)."""
+    return parallel_map(_double, items)

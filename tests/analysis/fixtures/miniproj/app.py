@@ -1,0 +1,15 @@
+"""Top-level wiring using absolute imports into the mini package.
+
+The absolute ``minipkg.*`` imports only resolve when this corpus is
+walked with ``--root .../miniproj`` (so ``minipkg`` is a top-level
+package of the walk); under the wider fixtures root they leave the
+symbol graph and the dispatch below produces no finding — the
+false-negative contract in action.
+"""
+
+from minipkg.jobs import work
+
+
+def main(pool, items):
+    """CONC001 under the miniproj root: absolute import of a lambda."""
+    return pool.map(work, items)  # CONC001 (miniproj root only)

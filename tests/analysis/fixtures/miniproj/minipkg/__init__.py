@@ -1,0 +1,7 @@
+"""Mini package exercising re-export and relative-import resolution."""
+
+from .jobs import good_task, work
+from .jobs import work as fast_work
+from .store_ops import consume_and_close
+
+__all__ = ["good_task", "work", "fast_work", "consume_and_close"]

@@ -1,0 +1,13 @@
+"""Pool dispatch sites whose targets live one import hop away."""
+
+from .jobs import good_task, work
+
+
+def run_lambda(pool, items):
+    """CONC001 (interprocedural): `work` is a lambda defined in jobs."""
+    return pool.map(work, items)  # CONC001
+
+
+def run_good(pool, items):
+    """Good: a module-level def resolved through the same import."""
+    return pool.map(good_task, items)

@@ -1,0 +1,6 @@
+"""Blocking helpers meant for worker threads, never the event loop."""
+
+
+def load_tag(path):
+    """Read a tag file (blocking — callers must stay off the loop)."""
+    return path.read_text()

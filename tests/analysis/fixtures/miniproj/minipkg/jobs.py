@@ -1,0 +1,10 @@
+"""Job callables of varying picklability."""
+
+# A module-level lambda: importable, but pickle refuses it (its
+# qualname is "<lambda>"), so pool dispatch silently runs serial.
+work = lambda item: item + 1  # noqa: E731
+
+
+def good_task(item):
+    """A plain module-level def — pickles by reference."""
+    return item - 1

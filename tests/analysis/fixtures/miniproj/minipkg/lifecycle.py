@@ -1,0 +1,32 @@
+"""SharedArrayStore construction sites for interprocedural CONC002."""
+
+from repro.parallel.shm import SharedArrayStore
+
+from .store_ops import borrow_only, consume_and_close, relay
+
+
+def owned_by_callee(arr):
+    """Good: the callee provably closes the store."""
+    store = SharedArrayStore()
+    return consume_and_close(store, arr)
+
+
+def owned_two_hops(arr):
+    """Good: ownership transfers through relay() to a closer."""
+    store = SharedArrayStore()
+    return relay(store, arr)
+
+
+def closed_in_finally(arr):
+    """Good: the constructing function closes in a finally block."""
+    store = SharedArrayStore()
+    try:
+        return store.publish(arr)
+    finally:
+        store.close()
+
+
+def leaked(arr):
+    """CONC002: handed to a borrower that never closes it."""
+    store = SharedArrayStore()  # CONC002
+    return borrow_only(store, arr)

@@ -1,0 +1,21 @@
+"""An async handler that reaches blocking I/O two sync hops deep."""
+
+import asyncio
+
+from .io_helpers import load_tag
+
+
+def lookup(path):
+    """Sync wrapper around the blocking tag load."""
+    return load_tag(path)
+
+
+async def handle(path):
+    """ASYNC002 (interprocedural): blocking read two hops down."""
+    return lookup(path)  # ASYNC002
+
+
+async def handle_offloaded(path):
+    """Good: the same chain behind an executor hop."""
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, lookup, path)

@@ -1,0 +1,19 @@
+"""Store consumers that do (or do not) take ownership of close()."""
+
+
+def consume_and_close(store, arr):
+    """Publish *arr*, then always close the borrowed store."""
+    try:
+        return store.publish(arr)
+    finally:
+        store.close()
+
+
+def relay(store, arr):
+    """Hand the store one hop further down the ownership chain."""
+    return consume_and_close(store, arr)
+
+
+def borrow_only(store, arr):
+    """Use the store without closing it (not an owner)."""
+    return store.publish(arr)

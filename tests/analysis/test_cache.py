@@ -1,0 +1,102 @@
+"""Content-hash AST cache: tiers, invalidation, knobs, report stats."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.analysis.cache as cache_mod
+from repro.analysis import build_project, render_json, run_analysis
+
+
+def _write_corpus(root):
+    (root / "m.py").write_text('"""m."""\n\nX = 1\n')
+    (root / "n.py").write_text('"""n."""\n\nY = 2\n')
+
+
+@pytest.fixture
+def fresh_memo(monkeypatch):
+    """Isolate each test from the process-wide parse memo."""
+    monkeypatch.delenv("REPRO_ANALYSIS_CACHE", raising=False)
+    monkeypatch.setattr(cache_mod, "_GLOBAL_MEMO", {})
+
+
+class TestCacheTiers:
+    def test_second_build_hits_and_shares_trees(self, tmp_path, fresh_memo):
+        _write_corpus(tmp_path)
+        first = build_project(tmp_path)
+        assert (first.cache_hits, first.cache_misses) == (0, 2)
+        second = build_project(tmp_path)
+        assert (second.cache_hits, second.cache_misses) == (2, 0)
+        # hits return the *same* tree objects — the semantics memo
+        # relies on this identity.
+        for a, b in zip(first.sources, second.sources):
+            assert a.tree is b.tree
+
+    def test_disk_tier_survives_a_memo_reset(self, tmp_path, fresh_memo, monkeypatch):
+        _write_corpus(tmp_path)
+        build_project(tmp_path)
+        assert (tmp_path / ".repro_cache" / "analysis").is_dir()
+        # simulate a fresh process: empty memo, same on-disk tier
+        monkeypatch.setattr(cache_mod, "_GLOBAL_MEMO", {})
+        warm = build_project(tmp_path)
+        assert (warm.cache_hits, warm.cache_misses) == (2, 0)
+
+    def test_corrupt_disk_entries_degrade_to_misses(self, tmp_path, fresh_memo, monkeypatch):
+        _write_corpus(tmp_path)
+        build_project(tmp_path)
+        for pkl in (tmp_path / ".repro_cache").rglob("*.pkl"):
+            pkl.write_bytes(b"not a pickle")
+        monkeypatch.setattr(cache_mod, "_GLOBAL_MEMO", {})
+        cold = build_project(tmp_path)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 2)
+
+
+class TestInvalidation:
+    def test_editing_a_file_invalidates_only_that_file(self, tmp_path, fresh_memo):
+        _write_corpus(tmp_path)
+        build_project(tmp_path)
+        (tmp_path / "m.py").write_text('"""m."""\n\nX = 99\n')
+        project = build_project(tmp_path)
+        assert (project.cache_hits, project.cache_misses) == (1, 1)
+
+
+class TestKnobs:
+    def test_env_knob_disables_both_tiers(self, tmp_path, fresh_memo, monkeypatch):
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE", "0")
+        _write_corpus(tmp_path)
+        build_project(tmp_path)
+        second = build_project(tmp_path)
+        assert (second.cache_hits, second.cache_misses) == (0, 0)
+        assert not (tmp_path / ".repro_cache").exists()
+
+    def test_env_knob_redirects_the_disk_tier(self, tmp_path, fresh_memo, monkeypatch):
+        elsewhere = tmp_path / "elsewhere"
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE", str(elsewhere))
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        _write_corpus(corpus)
+        build_project(corpus)
+        assert elsewhere.is_dir()
+        assert not (corpus / ".repro_cache").exists()
+
+    def test_use_cache_false_bypasses_everything(self, tmp_path, fresh_memo):
+        _write_corpus(tmp_path)
+        build_project(tmp_path)
+        report = run_analysis(root=tmp_path, use_cache=False)
+        assert (report.cache_hits, report.cache_misses) == (0, 0)
+
+
+class TestReporting:
+    def test_stats_reach_the_report_but_not_the_json(self, tmp_path, fresh_memo):
+        _write_corpus(tmp_path)
+        cold = run_analysis(root=tmp_path)
+        warm = run_analysis(root=tmp_path)
+        assert cold.cache_misses == 2
+        assert warm.cache_hits == 2
+        # JSON payloads stay byte-identical across cache temperatures so
+        # the baseline diff never churns.
+        assert render_json(cold) == render_json(warm)
+        payload = json.loads(render_json(warm))
+        assert not any("cache" in key for key in payload)

@@ -44,7 +44,13 @@ def test_json_format_and_output_file(tmp_path):
     assert proc.returncode == 1
     payload = json.loads(out.read_text())
     assert payload["schema"] == "repro.analysis.report"
-    assert payload["rules"]["CONC001"]["findings"] == 2
+    # conc_bad.py (2) + the interprocedural miniproj dispatch (1)
+    assert payload["rules"]["CONC001"]["findings"] == 3
+    assert payload["version"] == 2
+    assert "async_bad.py" in payload["files"]
+    assert payload["totals"]["findings"] == sum(
+        r["findings"] for r in payload["rules"].values()
+    )
 
 
 def test_select_narrows_the_run():
@@ -76,3 +82,45 @@ def test_explicit_subtree_paths():
     proc = _run("src/repro/stats", "--show-suppressed")
     assert proc.returncode == 0
     assert "DET005" in proc.stdout  # the vetted exact-zero guards, suppressed
+
+
+def test_github_format_emits_workflow_commands():
+    proc = _run("--root", str(FIXTURES), "--format", "github")
+    assert proc.returncode == 1
+    assert "::error file=async_bad.py,line=" in proc.stdout
+    assert "::notice" in proc.stdout  # suppressed findings surface as notices
+    assert "title=repro.analysis ASYNC002" in proc.stdout
+
+
+def test_from_report_rerenders_without_rescanning(tmp_path):
+    out = tmp_path / "report.json"
+    _run("--root", str(FIXTURES), "--format", "json", "-o", str(out))
+    proc = _run("--from-report", str(out), "--format", "github")
+    assert proc.returncode == 1  # exit code comes from the stored report
+    assert "::error file=conc_bad.py" in proc.stdout
+
+
+def test_from_report_preserves_a_clean_exit(tmp_path):
+    out = tmp_path / "report.json"
+    _run("--format", "json", "-o", str(out))  # repo itself is clean
+    proc = _run("--from-report", str(out), "--format", "human")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_from_report_rejects_wrong_schema_version(tmp_path):
+    stale = tmp_path / "old.json"
+    stale.write_text(json.dumps({"schema": "repro.analysis.report", "version": 1}))
+    proc = _run("--from-report", str(stale))
+    assert proc.returncode == 2
+    assert "version" in proc.stderr
+
+
+def test_from_report_missing_file_is_a_usage_error(tmp_path):
+    proc = _run("--from-report", str(tmp_path / "nope.json"))
+    assert proc.returncode == 2
+
+
+def test_no_cache_flag_disables_the_cache():
+    proc = _run("--root", str(FIXTURES), "--no-cache")
+    assert proc.returncode == 1
+    assert "cache" not in proc.stdout  # summary omits stats when disabled

@@ -76,6 +76,7 @@ class TestRegistry:
             "CONC001", "CONC002", "CONC003", "CONC004",
             "OBS001", "OBS002", "OBS003",
             "DOC001", "DOC002",
+            "ASYNC001", "ASYNC002", "ASYNC003", "ASYNC004", "ASYNC005",
         } <= ids
 
     def test_every_rule_has_name_and_rationale(self):
@@ -137,7 +138,7 @@ class TestReporters:
         report = run_analysis(root=tmp_path)
         payload = json.loads(render_json(report))
         assert payload["schema"] == "repro.analysis.report"
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["exit_code"] == 1
         assert payload["rules"]["DET005"]["findings"] == 1
         assert render_json(report) == render_json(run_analysis(root=tmp_path))

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""CI gate: the semantics layer must not slow down the analyzer.
+
+PR 9 added a project-wide symbol/call graph and the ASYNC rule pack on
+top of the purely syntactic analyzer from PR 8. The deal that made that
+acceptable is the content-hash AST cache: on a warm cache, the full
+semantic run must stay within ``MAX_RATIO`` (1.1x) of the PR 8
+baseline, reconstructed here as a cache-disabled run with the ASYNC
+pack ignored.
+
+Both sides are measured in-process with ``time.perf_counter`` and the
+min over ``RUNS`` repetitions is compared (min, not mean — we are
+bounding the cost of the feature, not the noise of the runner). A
+priming run warms both cache tiers and the semantics memo first, the
+same steady state the tier-1 pytest gate and repeated CI steps see.
+
+Exit 0 when within budget, 1 when over, with timings printed either
+way.
+
+    PYTHONPATH=src python tools/check_analysis_perf.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import run_analysis  # noqa: E402  (path set up above)
+
+MAX_RATIO = 1.1
+RUNS = 2
+ASYNC_PACK = ["ASYNC001", "ASYNC002", "ASYNC003", "ASYNC004", "ASYNC005"]
+
+
+def _time(**kwargs) -> float:
+    best = float("inf")
+    for _ in range(RUNS):
+        start = time.perf_counter()
+        report = run_analysis(**kwargs)
+        best = min(best, time.perf_counter() - start)
+        if report.unsuppressed:
+            print("check_analysis_perf: repo is not clean; fix findings first",
+                  file=sys.stderr)
+            sys.exit(1)
+    return best
+
+
+def main() -> int:
+    """Measure warm semantic vs cache-disabled syntactic runs."""
+    run_analysis()  # prime: fills both cache tiers + the semantics memo
+
+    warm = _time()
+    baseline = _time(ignore=ASYNC_PACK, use_cache=False)
+
+    ratio = warm / baseline
+    print(
+        f"analysis perf: warm semantic {warm * 1000:.1f} ms, "
+        f"syntactic no-cache baseline {baseline * 1000:.1f} ms, "
+        f"ratio {ratio:.2f}x (budget {MAX_RATIO:.1f}x, min of {RUNS})"
+    )
+    if ratio > MAX_RATIO:
+        print("check_analysis_perf: warm analyzer exceeded the budget",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
