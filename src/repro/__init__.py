@@ -36,6 +36,10 @@ from .core import (
     PearsonRndRepresentation,
     PredictConfig,
     PyMaxEntRepresentation,
+    QuantileSketch,
+    SampleProbe,
+    SketchProbe,
+    as_probe,
     evaluate_cross_system,
     evaluate_few_runs,
     get_model,
@@ -58,6 +62,10 @@ __all__ = [
     "PearsonRndRepresentation",
     "PredictConfig",
     "PyMaxEntRepresentation",
+    "QuantileSketch",
+    "SampleProbe",
+    "SketchProbe",
+    "as_probe",
     "registry",
     "evaluate_cross_system",
     "evaluate_few_runs",

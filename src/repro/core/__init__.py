@@ -4,6 +4,8 @@
 * :mod:`~repro.core.representations` — Histogram / PyMaxEnt / PearsonRnd
   distribution encodings;
 * :mod:`~repro.core.predictors` — the use-case-1 and use-case-2 pipelines;
+* :mod:`~repro.core.sketch` — percentile-only probes (``QuantileSketch``
+  and the ``Probe`` union the predictors accept);
 * :mod:`~repro.core.evaluation` — the leave-one-group-out KS protocol.
 """
 
@@ -16,7 +18,7 @@ from .evaluation import (
     get_model,
     summarize_ks,
 )
-from .features import FeatureConfig, feature_names, profile_features
+from .features import FeatureConfig, feature_names, probe_features, profile_features
 from .predictors import (
     CrossSystemPredictor,
     FewRunsPredictor,
@@ -32,6 +34,16 @@ from .representations import (
     ReconstructedDistribution,
     get_representation,
 )
+from .sketch import (
+    ASSUMPTIONS,
+    DEFAULT_SKETCH_LEVELS,
+    Probe,
+    QuantileSketch,
+    SampleProbe,
+    SketchProbe,
+    SketchProbeSpec,
+    as_probe,
+)
 
 __all__ = [
     "DEFAULT_EVAL_SEED",
@@ -46,7 +58,16 @@ __all__ = [
     "summarize_ks",
     "FeatureConfig",
     "feature_names",
+    "probe_features",
     "profile_features",
+    "ASSUMPTIONS",
+    "DEFAULT_SKETCH_LEVELS",
+    "Probe",
+    "QuantileSketch",
+    "SampleProbe",
+    "SketchProbe",
+    "SketchProbeSpec",
+    "as_probe",
     "CrossSystemPredictor",
     "FewRunsPredictor",
     "build_cross_system_rows",

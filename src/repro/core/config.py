@@ -78,6 +78,11 @@ class PredictConfig:
         Featurization options.
     seed:
         Probe-sampling seed of the training-row builders.
+    assumption:
+        Moment-recovery assumption applied when the predictor is queried
+        with a percentile-only :class:`~repro.core.sketch.SketchProbe`
+        (``"lognormal"`` or ``"pearson"``); probes that pin their own
+        assumption override it.  Sample probes ignore this entirely.
     """
 
     model: object = "knn"
@@ -86,6 +91,13 @@ class PredictConfig:
     n_replicas: int | None = None
     feature_config: FeatureConfig | None = None
     seed: int = DEFAULT_PROBE_SEED
+    assumption: str = "lognormal"
+
+    def __post_init__(self) -> None:
+        """Validate the assumption name eagerly (configs travel far)."""
+        from .sketch import check_assumption
+
+        object.__setattr__(self, "assumption", check_assumption(self.assumption))
 
     def resolve_model(self):
         """Fresh model instance for this config."""
@@ -128,6 +140,18 @@ class EvalConfig:
         Applied to registry-name models that expose the knob; ignored
         by ``"knn"`` and by concrete model instances (which carry their
         own setting).
+    probe_kind:
+        What the evaluation predicts *from*: ``"samples"`` (the paper's
+        protocol — raw probe campaigns, bit-identical to the historical
+        path) or ``"sketch"`` (percentile-only telemetry simulation —
+        each eval probe is summarized down to ``sketch_levels`` before
+        prediction; training always uses full distributions).
+    sketch_levels:
+        Quantile levels of the simulated telemetry export (only read
+        when ``probe_kind="sketch"``).
+    assumption:
+        Moment-recovery assumption of the sketch path (``"lognormal"``
+        or ``"pearson"``; only read when ``probe_kind="sketch"``).
     """
 
     representation: object = "pearsonrnd"
@@ -138,6 +162,9 @@ class EvalConfig:
     seed: int = DEFAULT_EVAL_SEED
     n_workers: int = 1
     tree_method: str = "exact"
+    probe_kind: str = "samples"
+    sketch_levels: tuple = (0.5, 0.9, 0.95, 0.99)
+    assumption: str = "lognormal"
 
     def __post_init__(self) -> None:
         """Validate the knobs that are cheap to check eagerly."""
@@ -150,6 +177,20 @@ class EvalConfig:
         from ..ml.tree import check_tree_method
 
         check_tree_method(self.tree_method)
+        if self.probe_kind not in ("samples", "sketch"):
+            raise ValidationError(
+                f'probe_kind must be "samples" or "sketch", got {self.probe_kind!r}'
+            )
+        # Building the spec validates sketch_levels and assumption.
+        self.probe_spec()
+
+    def probe_spec(self):
+        """Sketch-probe derivation spec, or ``None`` on the sample path."""
+        if self.probe_kind != "sketch":
+            return None
+        from .sketch import SketchProbeSpec
+
+        return SketchProbeSpec(levels=self.sketch_levels, assumption=self.assumption)
 
     def resolve_model(self):
         """Fresh model instance for this config.

@@ -396,10 +396,10 @@ def _dispatch_folds_hist(
 
 
 class _VectorCacheMixin:
-    """Memoized (encoding, model) -> fold-prediction vectors."""
+    """Memoized (encoding, model, probe-spec) -> fold-prediction vectors."""
 
     def __init__(self) -> None:
-        self._fold_vectors: dict[tuple[str, str], dict[str, np.ndarray]] = {}
+        self._fold_vectors: dict[tuple[str, str, str], dict[str, np.ndarray]] = {}
         self._binned: dict[str, BinnedMatrix] = {}
 
     def _binned_matrix(self, X: np.ndarray, key: str) -> BinnedMatrix:
@@ -426,31 +426,46 @@ class _VectorCacheMixin:
         model_key: str | None = None,
         n_workers: int = 1,
         pool=None,
+        probe_spec=None,
     ) -> dict[str, np.ndarray]:
-        """Per-benchmark fold predictions, cached by (model, encoding).
+        """Per-benchmark fold predictions, cached by (model, encoding, probe).
 
         ``model_key`` must identify the model's hyperparameters (the
         registry name does); pass ``None`` for ad-hoc model instances to
         bypass the cache.  ``pool`` optionally carries a persistent
         :class:`~repro.parallel.worker_pool.WorkerPool` shared across
         grid cells.
+
+        ``probe_spec`` optionally switches the *evaluation probes* to
+        percentile-only sketches (a
+        :class:`~repro.core.sketch.SketchProbeSpec`): training still
+        consumes full distributions, but each held-out prediction is made
+        from the probe's quantile summary.  The spec's key namespaces the
+        memo, so sketch and sample evaluations never share a cache entry.
         """
+        spec_key = "samples" if probe_spec is None else probe_spec.key
         key = None
         if model_key is not None:
-            key = (model_key, representation.encoding_key)
+            key = (model_key, representation.encoding_key, spec_key)
             hit = self._fold_vectors.get(key)
             if hit is not None:
                 obs.counter("engine.fold_vectors.hits")
                 return hit
         obs.counter("engine.fold_vectors.misses")
         vectors = self._compute_fold_vectors(
-            model, representation, n_workers=n_workers, pool=pool
+            model,
+            representation,
+            n_workers=n_workers,
+            pool=pool,
+            probe_spec=probe_spec,
         )
         if key is not None:
             self._fold_vectors[key] = vectors
         return vectors
 
-    def _compute_fold_vectors(self, model, representation, *, n_workers, pool):
+    def _compute_fold_vectors(
+        self, model, representation, *, n_workers, pool, probe_spec=None
+    ):
         raise NotImplementedError
 
 
@@ -482,10 +497,12 @@ class FewRunsDesign(_VectorCacheMixin):
         self.seed = seed
         self.names: list[str] = sorted(campaigns)
         cfg = feature_config or FeatureConfig()
+        self.feature_config = cfg
 
         rows_x, groups = [], []
         self.measured: dict[str, np.ndarray] = {}
         self.probe_features: dict[str, np.ndarray] = {}
+        self.eval_probes: dict[str, RunCampaign] = {}
         for name in self.names:
             campaign = campaigns[name]
             if campaign.n_runs < n_probe_runs:
@@ -501,12 +518,36 @@ class FewRunsDesign(_VectorCacheMixin):
                 seed_for(seed, "eval-probe", name, str(n_probe_runs))
             )
             eval_probe = campaign.sample_runs(n_probe_runs, eval_rng)
+            self.eval_probes[name] = eval_probe
             self.probe_features[name] = profile_features(eval_probe, cfg)
             self.measured[name] = campaign.relative_times()
         self.X = np.asarray(rows_x)
         self.groups = np.asarray(groups)
         self._targets: dict[str, np.ndarray] = {}
         self._scaled_folds: dict = {}
+        self._sketch_features: dict[str, dict[str, np.ndarray]] = {}
+        self._sketch_scaled_folds: dict[str, dict] = {}
+
+    def sketch_probe_features(self, probe_spec) -> dict[str, np.ndarray]:
+        """Per-benchmark eval features recovered from sketched probes.
+
+        Each evaluation probe — the *same* sampled probe campaign the
+        full-sample path profiles — is summarized to percentiles per the
+        :class:`~repro.core.sketch.SketchProbeSpec` and featurized from
+        the sketch alone (training rows are untouched: train-full,
+        predict-from-percentiles).  Cached per spec key.
+        """
+        hit = self._sketch_features.get(probe_spec.key)
+        if hit is not None:
+            return hit
+        features = {
+            name: probe_spec.probe_from_campaign(probe).features(
+                self.feature_config
+            )
+            for name, probe in self.eval_probes.items()
+        }
+        self._sketch_features[probe_spec.key] = features
+        return features
 
     def target_matrix(self, representation: DistributionRepresentation) -> np.ndarray:
         """Encoded full-distribution targets, one row per training row.
@@ -532,18 +573,29 @@ class FewRunsDesign(_VectorCacheMixin):
         """(X, Y, groups) — bit-identical to ``build_few_runs_rows``."""
         return self.X, self.target_matrix(representation), self.groups
 
-    def _compute_fold_vectors(self, model, representation, *, n_workers, pool):
+    def _compute_fold_vectors(
+        self, model, representation, *, n_workers, pool, probe_spec=None
+    ):
         # Use case 1 has one feature matrix for every encoding, so a
         # single binned cache entry covers the whole grid.
         binned = self._binned_matrix(self.X, "uc1") if _hist_model(model) else None
+        if probe_spec is None:
+            probe_features_map = self.probe_features
+            scaled_folds = self._scaled_folds
+        else:
+            # The scaled-folds cache stores x_probe_scaled per benchmark,
+            # so sketch evaluations get their own dict per spec — sharing
+            # the sample-path cache would poison both.
+            probe_features_map = self.sketch_probe_features(probe_spec)
+            scaled_folds = self._sketch_scaled_folds.setdefault(probe_spec.key, {})
         return logo_fold_vectors(
             self.X,
             self.target_matrix(representation),
             self.groups,
-            self.probe_features,
+            probe_features_map,
             model,
             n_workers=n_workers,
-            scaled_folds=self._scaled_folds,
+            scaled_folds=scaled_folds,
             pool=pool,
             binned=binned,
         )
@@ -581,6 +633,7 @@ class CrossSystemDesign(_VectorCacheMixin):
         self.n_replicas = n_replicas
         self.seed = seed
         cfg = feature_config or FeatureConfig()
+        self.feature_config = cfg
 
         # Per benchmark: replica profile blocks and relative times (the
         # first replica is the full source campaign), plus the measured
@@ -589,6 +642,7 @@ class CrossSystemDesign(_VectorCacheMixin):
         self._src_times: dict[str, list[np.ndarray]] = {}
         self.measured: dict[str, np.ndarray] = {}
         groups = []
+        self._source_full: dict[str, RunCampaign] = {}
         for name in common:
             src, dst = source[name], target[name]
             rng = check_random_state(seed_for(seed, "xsys", name))
@@ -601,9 +655,45 @@ class CrossSystemDesign(_VectorCacheMixin):
                 groups.append(name)
             self._profiles[name] = profiles
             self._src_times[name] = times
+            self._source_full[name] = src
             self.measured[name] = dst.relative_times()
         self.groups = np.asarray(groups)
         self._matrices: dict[str, tuple] = {}
+        self._sketch_probes: dict[str, dict] = {}
+        self._sketch_matrices: dict[tuple[str, str], tuple] = {}
+
+    def sketch_probe_features(
+        self, representation: DistributionRepresentation, probe_spec
+    ) -> dict[str, np.ndarray]:
+        """Per-benchmark eval rows recovered from sketched source campaigns.
+
+        The full-sample path evaluates from the complete source campaign
+        (profile block ++ encoded source distribution); the sketch path
+        summarizes that same campaign to percentiles first and recovers
+        both blocks from the sketch.  Cached per (encoding, spec) pair.
+        """
+        key = (representation.encoding_key, probe_spec.key)
+        hit = self._sketch_matrices.get(key)
+        if hit is not None:
+            return hit[0]
+        probes = self._sketch_probes.get(probe_spec.key)
+        if probes is None:
+            probes = {
+                name: probe_spec.probe_from_campaign(src)
+                for name, src in self._source_full.items()
+            }
+            self._sketch_probes[probe_spec.key] = probes
+        rows = {
+            name: np.concatenate(
+                [
+                    p.features(self.feature_config),
+                    p.encode_distribution(representation),
+                ]
+            )
+            for name, p in probes.items()
+        }
+        self._sketch_matrices[key] = (rows, {})
+        return rows
 
     def rows(self, representation: DistributionRepresentation):
         """(X, Y, groups) — bit-identical to ``build_cross_system_rows``."""
@@ -642,8 +732,19 @@ class CrossSystemDesign(_VectorCacheMixin):
             obs.counter("engine.targets.hits")
         return cached
 
-    def _compute_fold_vectors(self, model, representation, *, n_workers, pool):
+    def _compute_fold_vectors(
+        self, model, representation, *, n_workers, pool, probe_spec=None
+    ):
         X, Y, probe, folds = self._encoded(representation)
+        if probe_spec is not None:
+            # Training matrices stay full-sample; only the held-out
+            # evaluation rows switch to sketch recovery.  The fold cache
+            # is per (encoding, spec) — its x_probe_scaled entries are
+            # probe-dependent.
+            probe = self.sketch_probe_features(representation, probe_spec)
+            folds = self._sketch_matrices[
+                (representation.encoding_key, probe_spec.key)
+            ][1]
         # Use case 2's feature rows embed the encoded source
         # distribution, so the binned matrix is per encoding.
         binned = (

@@ -304,6 +304,7 @@ def evaluate_few_runs(
         model_key=cfg.model_key(),
         n_workers=cfg.n_workers,
         pool=pool,
+        probe_spec=cfg.probe_spec(),
     )
     return score_fold_vectors(vectors, rep, design.measured, seed=cfg.seed)
 
@@ -367,6 +368,7 @@ def evaluate_cross_system(
         model_key=cfg.model_key(),
         n_workers=cfg.n_workers,
         pool=pool,
+        probe_spec=cfg.probe_spec(),
     )
     return score_fold_vectors(vectors, rep, design.measured, seed=cfg.seed)
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .._deprecation import warn_deprecated
 from ..data.dataset import RunCampaign
 from ..errors import NotFittedError, ValidationError
 from ..ml.base import Regressor
@@ -131,6 +132,7 @@ class FewRunsPredictor:
     n_replicas: int = 8
     feature_config: FeatureConfig = field(default_factory=FeatureConfig)
     seed: int = _PROBE_SEED
+    assumption: str = "lognormal"
 
     @classmethod
     def from_config(cls, config) -> "FewRunsPredictor":
@@ -147,6 +149,7 @@ class FewRunsPredictor:
             n_replicas=config.replicas(8),
             feature_config=config.feature_config or FeatureConfig(),
             seed=config.seed,
+            assumption=getattr(config, "assumption", "lognormal"),
         )
 
     def to_bytes(self) -> bytes:
@@ -188,14 +191,30 @@ class FewRunsPredictor:
         if not hasattr(self, "model_"):
             raise NotFittedError("FewRunsPredictor.fit has not been called")
 
-    def predict_vector(self, probe: RunCampaign) -> np.ndarray:
-        """Predicted representation vector for a probe campaign."""
+    def predict_vector(self, probe) -> np.ndarray:
+        """Predicted representation vector for a probe.
+
+        *probe* is any :data:`~repro.core.sketch.Probe` input: a raw
+        :class:`~repro.data.dataset.RunCampaign` (or
+        :class:`~repro.core.sketch.SampleProbe`) goes through the
+        historical sample path bit for bit; a percentile-only
+        :class:`~repro.core.sketch.SketchProbe` recovers the same
+        features under this predictor's ``assumption``.
+        """
         self._check_fitted()
-        x = profile_features(probe, self.feature_config)[None, :]
+        if isinstance(probe, RunCampaign):
+            x = profile_features(probe, self.feature_config)[None, :]
+        else:
+            from .sketch import as_probe
+
+            x = as_probe(probe).features(
+                self.feature_config,
+                assumption=getattr(self, "assumption", "lognormal"),
+            )[None, :]
         return self.model_.predict(self.scaler_.transform(x))[0]
 
-    def predict_distribution(self, probe: RunCampaign) -> ReconstructedDistribution:
-        """Predicted relative-time distribution for a probe campaign."""
+    def predict_distribution(self, probe) -> ReconstructedDistribution:
+        """Predicted relative-time distribution for a probe."""
         return self.representation.reconstruct(self.predict_vector(probe))
 
 
@@ -214,6 +233,7 @@ class CrossSystemPredictor:
     n_replicas: int = 4
     feature_config: FeatureConfig = field(default_factory=FeatureConfig)
     seed: int = _PROBE_SEED
+    assumption: str = "lognormal"
 
     @classmethod
     def from_config(cls, config) -> "CrossSystemPredictor":
@@ -227,6 +247,7 @@ class CrossSystemPredictor:
             n_replicas=config.replicas(4),
             feature_config=config.feature_config or FeatureConfig(),
             seed=config.seed,
+            assumption=getattr(config, "assumption", "lognormal"),
         )
 
     def to_bytes(self) -> bytes:
@@ -270,19 +291,63 @@ class CrossSystemPredictor:
         if not hasattr(self, "model_"):
             raise NotFittedError("CrossSystemPredictor.fit has not been called")
 
-    def predict_vector(self, source_campaign: RunCampaign) -> np.ndarray:
-        """Predicted target-system representation vector."""
+    def _resolve_probe_argument(self, probe, source_campaign, *, method: str):
+        """Unify the ``probe=`` argument with the legacy keyword shim."""
+        if source_campaign is not None:
+            if probe is not None:
+                raise ValidationError(
+                    f"pass either probe= or the deprecated source_campaign= "
+                    f"to {method}, not both"
+                )
+            warn_deprecated(
+                f"CrossSystemPredictor.{method}(source_campaign=...)",
+                f"CrossSystemPredictor.{method}(probe)",
+                stacklevel=4,
+            )
+            probe = source_campaign
+        if probe is None:
+            raise ValidationError(f"{method} needs a probe")
+        return probe
+
+    def predict_vector(self, probe=None, *, source_campaign=None) -> np.ndarray:
+        """Predicted target-system representation vector.
+
+        *probe* is any :data:`~repro.core.sketch.Probe` input measured on
+        the **source** system; sketch probes recover both the profile
+        features and the encoded source distribution from percentiles.
+        The ``source_campaign=`` keyword is a deprecated alias.
+        """
         self._check_fitted()
-        x = np.concatenate(
-            [
-                profile_features(source_campaign, self.feature_config),
-                self.representation.encode(source_campaign.relative_times()),
-            ]
-        )[None, :]
+        probe = self._resolve_probe_argument(
+            probe, source_campaign, method="predict_vector"
+        )
+        assumption = getattr(self, "assumption", "lognormal")
+        if isinstance(probe, RunCampaign):
+            x = np.concatenate(
+                [
+                    profile_features(probe, self.feature_config),
+                    self.representation.encode(probe.relative_times()),
+                ]
+            )[None, :]
+        else:
+            from .sketch import as_probe
+
+            p = as_probe(probe)
+            x = np.concatenate(
+                [
+                    p.features(self.feature_config, assumption=assumption),
+                    p.encode_distribution(
+                        self.representation, assumption=assumption
+                    ),
+                ]
+            )[None, :]
         return self.model_.predict(self.scaler_.transform(x))[0]
 
     def predict_distribution(
-        self, source_campaign: RunCampaign
+        self, probe=None, *, source_campaign=None
     ) -> ReconstructedDistribution:
         """Predicted relative-time distribution on the target system."""
-        return self.representation.reconstruct(self.predict_vector(source_campaign))
+        probe = self._resolve_probe_argument(
+            probe, source_campaign, method="predict_distribution"
+        )
+        return self.representation.reconstruct(self.predict_vector(probe))

@@ -32,10 +32,25 @@ from typing import Any
 
 from .errors import ValidationError
 
-__all__ = ["KINDS", "available", "create", "model", "representation", "suggest"]
+__all__ = [
+    "KINDS",
+    "ASSUMPTIONS",
+    "assumption",
+    "available",
+    "create",
+    "model",
+    "representation",
+    "suggest",
+]
 
 #: The registered component kinds.
 KINDS = ("model", "representation")
+
+#: Registered moment-recovery assumptions for percentile-only probes
+#: (see :mod:`repro.core.sketch`).  Not a registry *kind* — assumptions
+#: are closed-set strategy names, not instantiable components — but
+#: validated here so config errors carry did-you-mean hints.
+ASSUMPTIONS = ("lognormal", "pearson")
 
 
 def _tables() -> dict[str, dict[str, Any]]:
@@ -110,3 +125,25 @@ def model(name: str) -> Any:
 def representation(name: str, **kwargs) -> Any:
     """Fresh instance of a registered distribution representation."""
     return create("representation", name, **kwargs)
+
+
+def assumption(name: str) -> str:
+    """Validate a sketch-probe assumption name; returns it canonical.
+
+    >>> assumption("LogNormal")
+    'lognormal'
+    """
+    if not isinstance(name, str):
+        raise ValidationError(
+            f"assumption must be a string, got {type(name).__name__}"
+        )
+    key = name.lower()
+    if key not in ASSUMPTIONS:
+        close = difflib.get_close_matches(key, ASSUMPTIONS, n=3, cutoff=0.5)
+        hint = (
+            f"did you mean {', '.join(repr(c) for c in close)}?"
+            if close
+            else f"choose from {ASSUMPTIONS}"
+        )
+        raise ValidationError(f"unknown assumption {name!r}; {hint}")
+    return key

@@ -42,6 +42,11 @@ p99 = exp(μ + z₉₉·σ), so
     σ_ln = ln(p99/p50) / z₉₉        (z₉₉ = Φ⁻¹(0.99) ≈ 2.3263)
     Cs²  = exp(σ_ln²) − 1
 
+The formulas are implemented once, in :mod:`repro.stats.lognormal`, and
+shared with the percentile-only probe path
+(:class:`~repro.core.sketch.QuantileSketch` recovers model features
+from telemetry percentiles under the same assumption).
+
 This estimator is also what the fleet uses on its own *measured*
 windows (via the window's empirical p50/p99) because it is robust to
 the stray multi-second outlier that would dominate a raw-moment
@@ -67,6 +72,11 @@ import numpy as np
 from ... import obs
 from ...errors import ValidationError
 
+# The percentile→moment math lives in repro.stats.lognormal (shared with
+# QuantileSketch, which recovers model features from the same p50/p99
+# formulas); re-exported here for backward compatibility.
+from ...stats.lognormal import Z99, cs2_from_moments, cs2_from_percentiles
+
 __all__ = [
     "Z99",
     "cs2_from_percentiles",
@@ -76,38 +86,7 @@ __all__ = [
     "KingmanAdmission",
 ]
 
-#: z-score of the 99th percentile of the standard normal, Φ⁻¹(0.99).
-#: Hardcoded (scipy.stats.norm.ppf(0.99)) so admission needs no scipy
-#: import on the request hot path.
-Z99 = 2.3263478740408408
-
 _CS2_ESTIMATORS = ("lognormal", "moments")
-
-
-def cs2_from_percentiles(p50: float, p99: float) -> float:
-    """Cs² from two percentiles under the explicit lognormal assumption.
-
-    Assumes service times are log-normal (see the module docstring for
-    why this assumption is required and when it is reasonable):
-    ``σ_ln = ln(p99/p50)/z₉₉`` and ``Cs² = exp(σ_ln²) − 1``.
-    """
-    if not (0.0 < p50 <= p99):
-        raise ValidationError(
-            f"percentiles must satisfy 0 < p50 <= p99, got p50={p50}, p99={p99}"
-        )
-    sigma_ln = math.log(p99 / p50) / Z99
-    return math.expm1(sigma_ln * sigma_ln)
-
-
-def cs2_from_moments(samples) -> float:
-    """Textbook Cs² = Var(S)/E[S]² from raw service-time samples."""
-    arr = np.asarray(samples, dtype=np.float64)
-    if arr.size < 2:
-        raise ValidationError("cs2_from_moments needs at least two samples")
-    mean = float(arr.mean())
-    if mean <= 0.0:
-        raise ValidationError("service times must have a positive mean")
-    return float(arr.var() / (mean * mean))
 
 
 @dataclass(frozen=True)

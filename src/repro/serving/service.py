@@ -52,14 +52,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import obs
-from ..data.dataset import RunCampaign
 from ..errors import ArtifactError, ValidationError
 from .protocol import (
     decode_campaign,
+    decode_probe,
     encode_array,
     error,
     ok,
-    request_fingerprint,
+    probe_fingerprint,
 )
 from .registry import ModelRegistry
 
@@ -127,11 +127,16 @@ class ServingConfig:
 
 @dataclass
 class _Request:
-    """One queued predict request awaiting batch execution."""
+    """One queued predict request awaiting batch execution.
+
+    ``probe`` is any :data:`~repro.core.sketch.Probe` — a
+    :class:`~repro.core.sketch.SampleProbe` for v1/raw-campaign requests,
+    a :class:`~repro.core.sketch.SketchProbe` for percentile-only ones.
+    """
 
     fingerprint: str
     model_key: str
-    campaign: RunCampaign
+    probe: object
     n_samples: int
     sample_seed: int
     future: asyncio.Future = field(repr=False)
@@ -181,6 +186,7 @@ class PredictionService:
             "batches": 0,
             "batched_requests": 0,
             "drained": 0,
+            "protocol_v1_requests": 0,
         }
         self._batch_sizes: dict[int, int] = {}
 
@@ -310,14 +316,28 @@ class PredictionService:
         return response
 
     def _parse(self, payload: dict) -> tuple[_Request, float]:
-        """Validate a raw predict payload into a :class:`_Request`."""
+        """Validate a raw predict payload into a :class:`_Request`.
+
+        Accepts both wire generations: a v2 body carries ``probe`` (with
+        its ``probe_kind`` discriminator); a v1 body carries a bare
+        ``campaign``, which is wrapped into a sample probe and counted on
+        the ``serving.protocol_v1_requests`` counter (same fingerprint,
+        same answer — only the envelope differs).
+        """
         if not isinstance(payload, dict):
             raise ValidationError("request must be a JSON object")
         model_name = payload.get("model")
         if not isinstance(model_name, str) or not model_name:
             raise ValidationError("request needs a 'model' tag or content key")
         model_key = self.registry.resolve(model_name)
-        campaign = decode_campaign(payload.get("campaign"))
+        if "probe" in payload:
+            probe = decode_probe(payload.get("probe"))
+        else:
+            from ..core.sketch import SampleProbe
+
+            self._stats["protocol_v1_requests"] += 1
+            obs.counter("serving.protocol_v1_requests")
+            probe = SampleProbe(decode_campaign(payload.get("campaign")))
         n_samples = payload.get("n_samples", 0)
         sample_seed = payload.get("sample_seed", 0)
         if not isinstance(n_samples, int) or n_samples < 0:
@@ -327,12 +347,12 @@ class PredictionService:
         deadline_s = payload.get("deadline_s", self.config.default_deadline_s)
         if not isinstance(deadline_s, (int, float)) or deadline_s <= 0:
             raise ValidationError("deadline_s must be a positive number")
-        fingerprint = request_fingerprint(
-            model_key, campaign, n_samples=n_samples, sample_seed=sample_seed
+        fingerprint = probe_fingerprint(
+            model_key, probe, n_samples=n_samples, sample_seed=sample_seed
         )
         future = asyncio.get_running_loop().create_future()
         return (
-            _Request(fingerprint, model_key, campaign, n_samples, sample_seed, future),
+            _Request(fingerprint, model_key, probe, n_samples, sample_seed, future),
             float(deadline_s),
         )
 
@@ -415,13 +435,13 @@ class PredictionService:
             encoded = self._pool.map(
                 _pool_predict_task,
                 [
-                    (str(self.registry.root), model_key, _encode_for_pool(r.campaign))
+                    (str(self.registry.root), model_key, _encode_for_pool(r.probe))
                     for r in requests
                 ],
             )
             vectors = [_decode_pool_vector(text) for text in encoded]
         else:
-            vectors = [predictor.predict_vector(r.campaign) for r in requests]
+            vectors = [predictor.predict_vector(r.probe) for r in requests]
         responses = []
         for request, vector in zip(requests, vectors):
             body = ok(
@@ -440,11 +460,11 @@ class PredictionService:
         return responses
 
 
-def _encode_for_pool(campaign: RunCampaign) -> dict:
-    """Campaign wire form for pool dispatch (module-level for clarity)."""
-    from .protocol import encode_campaign
+def _encode_for_pool(probe) -> dict:
+    """Probe wire form for pool dispatch (module-level for clarity)."""
+    from .protocol import encode_probe
 
-    return encode_campaign(campaign)
+    return encode_probe(probe)
 
 
 def _decode_pool_vector(text: str) -> np.ndarray:

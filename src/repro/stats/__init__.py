@@ -10,6 +10,7 @@ Everything the prediction pipelines need to treat performance as a
 * :mod:`~repro.stats.ks` — Kolmogorov–Smirnov statistics;
 * :mod:`~repro.stats.pearson` — the Pearson system (``pearsrnd``);
 * :mod:`~repro.stats.maxent` — maximum-entropy reconstruction (PyMaxEnt);
+* :mod:`~repro.stats.lognormal` — shared lognormal percentile→moment math;
 * :mod:`~repro.stats.bootstrap` — bootstrap CIs and adaptive stopping.
 """
 
@@ -24,6 +25,16 @@ from .ks import (
     ks_against_grid_cdf,
     ks_statistic,
     ks_statistic_many,
+)
+from .lognormal import (
+    Z99,
+    cs2_from_moments,
+    cs2_from_percentiles,
+    fit_lognormal,
+    lognormal_cdf,
+    lognormal_moments,
+    lognormal_quantile,
+    sigma_from_percentiles,
 )
 from .maxent import MaxEntDensity, maxent_from_moments
 from .modes import Mode, ModeAgreement, find_modes, mode_agreement
@@ -60,6 +71,14 @@ __all__ = [
     "ks_against_grid_cdf",
     "ks_statistic",
     "ks_statistic_many",
+    "Z99",
+    "cs2_from_moments",
+    "cs2_from_percentiles",
+    "fit_lognormal",
+    "lognormal_cdf",
+    "lognormal_moments",
+    "lognormal_quantile",
+    "sigma_from_percentiles",
     "MaxEntDensity",
     "maxent_from_moments",
     "Mode",
